@@ -1,0 +1,72 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//! the keep-edge weight (what the weight-3 edges buy) and CP's
+//! conservative 2-hop color pick (what the conservatism costs).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minim_bench::join_events;
+use minim_core::{Cp, Minim};
+use minim_net::Network;
+use minim_sim::runner::run_events;
+
+fn bench_keep_weight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_keep_weight");
+    group.sample_size(10);
+    let events = join_events(60, 11);
+    for &w in &[1i64, 3, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| {
+                let mut net = Network::new(30.5);
+                let mut s = Minim::with_keep_weight(w);
+                black_box(run_events(&mut s, &mut net, &events))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cp_pick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cp_pick");
+    group.sample_size(10);
+    let events = join_events(60, 12);
+    group.bench_function("conservative_2hop", |b| {
+        b.iter(|| {
+            let mut net = Network::new(30.5);
+            let mut s = Cp::default();
+            black_box(run_events(&mut s, &mut net, &events))
+        })
+    });
+    group.bench_function("exact_constraints", |b| {
+        b.iter(|| {
+            let mut net = Network::new(30.5);
+            let mut s = Cp::with_exact_constraints();
+            black_box(run_events(&mut s, &mut net, &events))
+        })
+    });
+    group.finish();
+}
+
+fn bench_matching_policy(c: &mut Criterion) {
+    // Weighted (minimality-preserving) vs weight-blind matching on the
+    // same join workload: isolates the cost of the weights themselves.
+    let mut group = c.benchmark_group("ablation_matching_policy");
+    group.sample_size(10);
+    let events = join_events(80, 13);
+    group.bench_function("weighted_keep3", |b| {
+        b.iter(|| {
+            let mut net = Network::new(30.5);
+            let mut s = Minim::default();
+            black_box(run_events(&mut s, &mut net, &events))
+        })
+    });
+    group.bench_function("blind_weight1", |b| {
+        b.iter(|| {
+            let mut net = Network::new(30.5);
+            let mut s = Minim::with_keep_weight(1);
+            black_box(run_events(&mut s, &mut net, &events))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_keep_weight, bench_cp_pick, bench_matching_policy);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks for the global coloring heuristics on conflict graphs of
+//! paper-style networks (the BBB baseline runs one of these per event).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minim_bench::minim_network;
+use minim_coloring::{dsatur, greedy_identity, iterated_greedy, rlf, smallest_last};
+use minim_graph::conflict;
+
+fn bench_conflict_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict_graph_build");
+    for &n in &[40usize, 100, 200] {
+        let net = minim_network(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter(|| black_box(conflict::conflict_graph(net.graph())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring");
+    for &n in &[40usize, 100, 200] {
+        let net = minim_network(n, 2);
+        let (ug, _) = conflict::conflict_graph(net.graph());
+        group.bench_with_input(BenchmarkId::new("dsatur", n), &ug, |b, g| {
+            b.iter(|| black_box(dsatur(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("smallest_last", n), &ug, |b, g| {
+            b.iter(|| black_box(smallest_last(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_identity", n), &ug, |b, g| {
+            b.iter(|| black_box(greedy_identity(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("rlf", n), &ug, |b, g| {
+            b.iter(|| black_box(rlf(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("iterated_greedy_x8", n), &ug, |b, g| {
+            let start = greedy_identity(g);
+            b.iter(|| black_box(iterated_greedy(g, &start, 8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_conflict_graph_build, bench_heuristics
+}
+criterion_main!(benches);

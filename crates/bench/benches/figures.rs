@@ -1,0 +1,96 @@
+//! One full replicate of each figure workload — the end-to-end costs
+//! behind the §5 tables (the `repro` binary runs these replicated and
+//! aggregated; here Criterion times a single replicate so regressions
+//! in the simulation pipeline are caught).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minim_core::StrategyKind;
+use minim_net::workload::{JoinWorkload, MovementWorkload, PowerRaiseWorkload};
+use minim_net::Network;
+use minim_sim::runner::{pregenerate_movement_rounds, run_events};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig10_replicate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_join_replicate");
+    group.sample_size(10);
+    for kind in StrategyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let events = JoinWorkload::paper(100).generate(&mut rng);
+                    let mut net = Network::new(30.5);
+                    let mut s = kind.build();
+                    black_box(run_events(&mut *s, &mut net, &events))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig11_replicate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_power_replicate");
+    group.sample_size(10);
+    for kind in StrategyKind::ALL {
+        // Base build outside the timed loop: the figure measures the
+        // power phase.
+        let mut rng = StdRng::seed_from_u64(2);
+        let events = JoinWorkload::paper(100).generate(&mut rng);
+        let mut base = Network::new(30.5);
+        let mut s = kind.build();
+        run_events(&mut *s, &mut base, &events);
+        let raises = PowerRaiseWorkload::paper(4.0).generate(&base, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &(base, raises),
+            |b, (base, raises)| {
+                b.iter(|| {
+                    let mut net = base.clone();
+                    let mut s = kind.build();
+                    black_box(run_events(&mut *s, &mut net, raises))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig12_replicate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_move_replicate");
+    group.sample_size(10);
+    for kind in StrategyKind::ALL {
+        let mut rng = StdRng::seed_from_u64(3);
+        let events = JoinWorkload::paper(40).generate(&mut rng);
+        let mut base = Network::new(30.5);
+        let mut s = kind.build();
+        run_events(&mut *s, &mut base, &events);
+        let rounds =
+            pregenerate_movement_rounds(&base, &MovementWorkload::paper(40.0, 1), 1, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &(base, rounds),
+            |b, (base, rounds)| {
+                b.iter(|| {
+                    let mut net = base.clone();
+                    let mut s = kind.build();
+                    for round in rounds {
+                        black_box(run_events(&mut *s, &mut net, round));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig10_replicate,
+    bench_fig11_replicate,
+    bench_fig12_replicate
+);
+criterion_main!(benches);

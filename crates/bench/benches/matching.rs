@@ -1,0 +1,59 @@
+//! Microbenchmarks for the bipartite matching kernels (the engine of
+//! `RecodeOnJoin`, paper §4.1 step 5; the paper bounds the join cost by
+//! the matching at `O(k^9 ln k)` from Galil's survey — our Hungarian is
+//! far below that bound).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minim_matching::{hopcroft_karp, max_weight_matching, WeightedBipartite};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A join-shaped instance: `members` left vertices, `colors` right
+/// vertices, ~80% edge density, one weight-3 keep-edge per left.
+fn join_instance(members: usize, colors: usize, seed: u64) -> WeightedBipartite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedBipartite::new(members, colors);
+    for l in 0..members {
+        let keep = rng.gen_range(0..colors);
+        g.add_edge(l, keep, 3);
+        for r in 0..colors {
+            if r != keep && rng.gen_bool(0.8) {
+                g.add_edge(l, r, 1);
+            }
+        }
+    }
+    g
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for &(members, colors) in &[(8usize, 12usize), (20, 30), (50, 70), (100, 130)] {
+        let g = join_instance(members, colors, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{members}x{colors}")),
+            &g,
+            |b, g| b.iter(|| black_box(max_weight_matching(g))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    for &(members, colors) in &[(20usize, 30usize), (100, 130)] {
+        let g = join_instance(members, colors, 43);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{members}x{colors}")),
+            &g,
+            |b, g| b.iter(|| black_box(hopcroft_karp(g))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_hungarian, bench_hopcroft_karp
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benches for the extension subsystems: the distributed protocol
+//! engine (per-join message flow) and the packet-level radio slot loop.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use minim_bench::minim_network;
+use minim_geom::Point;
+use minim_net::NodeConfig;
+use minim_proto::distributed_minim_join;
+use minim_radio::{RadioConfig, RadioSim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_distributed_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proto_distributed_join");
+    group.sample_size(20);
+    for &n in &[40usize, 100] {
+        let base = minim_network(n, 21);
+        let cfg = NodeConfig::new(Point::new(50.0, 50.0), 25.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &base, |b, base| {
+            b.iter_batched(
+                || base.clone(),
+                |mut net| {
+                    let id = net.next_id();
+                    black_box(distributed_minim_join(&mut net, id, cfg));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_radio_slots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radio_slot_loop");
+    group.sample_size(20);
+    for &n in &[40usize, 100] {
+        let net = minim_network(n, 22);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter(|| {
+                let mut sim = RadioSim::new(RadioConfig {
+                    retune_slots: 8,
+                    traffic_prob: 0.5,
+                });
+                let mut rng = StdRng::seed_from_u64(1);
+                for _ in 0..100 {
+                    sim.slot(net, &mut rng);
+                }
+                black_box(sim.stats())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed_join, bench_radio_slots);
+criterion_main!(benches);

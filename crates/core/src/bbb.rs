@@ -1,0 +1,184 @@
+//! The **BBB** baseline — the paper's §5 centralized comparator.
+//!
+//! "A strategy that uses a centralized coloring heuristic: the BBB
+//! algorithm of \[7\], to recolor the entire network at every event."
+//! Per DESIGN.md, the heuristic is realized as DSATUR on the TOCA
+//! conflict graph (a smallest-last variant is also available). The two
+//! behaviours the paper relies on are preserved: BBB produces the
+//! lowest max-color-index curves (near-optimal global coloring) and
+//! enormous recoding counts (it has no loyalty to the previous
+//! assignment — "BBB performs badly since it recolors the entire
+//! network at each event").
+
+use crate::{RecodeOutcome, RecodingStrategy};
+use minim_coloring::{dsatur, rlf, smallest_last, Coloring};
+use minim_geom::Point;
+use minim_graph::{conflict, Color, NodeId, UGraph};
+use minim_net::{Network, NodeConfig};
+
+/// Which global heuristic BBB runs at each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GlobalHeuristic {
+    /// DSATUR (Brélaz) — the default; near-optimal on these graphs.
+    #[default]
+    Dsatur,
+    /// Smallest-last (degeneracy) ordering + first-fit.
+    SmallestLast,
+    /// Recursive Largest First (Leighton) — strongest on dense graphs.
+    Rlf,
+}
+
+impl GlobalHeuristic {
+    fn run(self, g: &UGraph) -> Coloring {
+        match self {
+            GlobalHeuristic::Dsatur => dsatur(g),
+            GlobalHeuristic::SmallestLast => smallest_last(g),
+            GlobalHeuristic::Rlf => rlf(g),
+        }
+    }
+}
+
+/// The centralized recolor-everything baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Bbb {
+    /// The global coloring heuristic to apply.
+    pub heuristic: GlobalHeuristic,
+}
+
+impl Bbb {
+    /// A BBB variant running smallest-last instead of DSATUR.
+    pub fn smallest_last() -> Self {
+        Bbb {
+            heuristic: GlobalHeuristic::SmallestLast,
+        }
+    }
+
+    /// A BBB variant running RLF instead of DSATUR.
+    pub fn rlf() -> Self {
+        Bbb {
+            heuristic: GlobalHeuristic::Rlf,
+        }
+    }
+
+    /// Recolors the whole network from scratch.
+    fn recolor_all(&self, net: &mut Network) {
+        let (ug, ids) = conflict::conflict_graph(net.graph());
+        let coloring = self.heuristic.run(&ug);
+        for (i, &id) in ids.iter().enumerate() {
+            net.assignment_mut().set(id, Color::new(coloring.colors[i]));
+        }
+        debug_assert!(net.validate().is_ok(), "BBB global recolor invalid");
+    }
+}
+
+impl RecodingStrategy for Bbb {
+    fn name(&self) -> &'static str {
+        "BBB"
+    }
+
+    fn on_join(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> RecodeOutcome {
+        let before = net.snapshot_assignment();
+        net.insert_node(id, cfg);
+        self.recolor_all(net);
+        RecodeOutcome::from_diff(net, &before)
+    }
+
+    fn on_leave(&mut self, net: &mut Network, id: NodeId) -> RecodeOutcome {
+        let before = net.snapshot_assignment();
+        net.remove_node(id);
+        self.recolor_all(net);
+        RecodeOutcome::from_diff(net, &before)
+    }
+
+    fn on_move(&mut self, net: &mut Network, id: NodeId, to: Point) -> RecodeOutcome {
+        let before = net.snapshot_assignment();
+        net.move_node(id, to);
+        self.recolor_all(net);
+        RecodeOutcome::from_diff(net, &before)
+    }
+
+    fn on_set_range(&mut self, net: &mut Network, id: NodeId, range: f64) -> RecodeOutcome {
+        let before = net.snapshot_assignment();
+        net.set_range(id, range);
+        self.recolor_all(net);
+        RecodeOutcome::from_diff(net, &before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StrategyKind;
+    use minim_net::workload::JoinWorkload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_joins(kind: StrategyKind, count: usize, seed: u64) -> (Network, usize) {
+        let mut strategy = kind.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new(25.0);
+        let mut recodings = 0;
+        for e in JoinWorkload::paper(count).generate(&mut rng) {
+            recodings += strategy.apply(&mut net, &e).1.recodings();
+        }
+        (net, recodings)
+    }
+
+    #[test]
+    fn bbb_produces_valid_low_color_assignments() {
+        let (net, _) = run_joins(StrategyKind::Bbb, 50, 3);
+        assert!(net.validate().is_ok());
+        let (net_minim, _) = run_joins(StrategyKind::Minim, 50, 3);
+        // The global heuristic should use no more colors than the
+        // local strategy.
+        assert!(
+            net.max_color_index() <= net_minim.max_color_index(),
+            "BBB {} vs Minim {}",
+            net.max_color_index(),
+            net_minim.max_color_index()
+        );
+    }
+
+    #[test]
+    fn bbb_recodes_far_more_than_minim() {
+        let (_, bbb_rec) = run_joins(StrategyKind::Bbb, 50, 4);
+        let (_, minim_rec) = run_joins(StrategyKind::Minim, 50, 4);
+        assert!(
+            bbb_rec > 2 * minim_rec,
+            "expected BBB ({bbb_rec}) ≫ Minim ({minim_rec})"
+        );
+    }
+
+    #[test]
+    fn smallest_last_and_rlf_variants_also_valid() {
+        for mut strategy in [Bbb::smallest_last(), Bbb::rlf()] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut net = Network::new(25.0);
+            for e in JoinWorkload::paper(40).generate(&mut rng) {
+                strategy.apply(&mut net, &e);
+                assert!(net.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn bbb_recolors_on_every_event_type() {
+        let mut strategy = Bbb::default();
+        let mut net = Network::new(10.0);
+        use minim_geom::Point;
+        let a = net.next_id();
+        strategy.on_join(&mut net, a, NodeConfig::new(Point::new(0.0, 0.0), 6.0));
+        let b = net.next_id();
+        strategy.on_join(&mut net, b, NodeConfig::new(Point::new(5.0, 0.0), 6.0));
+        assert!(net.validate().is_ok());
+        strategy.on_move(&mut net, b, Point::new(3.0, 0.0));
+        assert!(net.validate().is_ok());
+        strategy.on_set_range(&mut net, a, 12.0);
+        assert!(net.validate().is_ok());
+        strategy.on_leave(&mut net, b);
+        assert!(net.validate().is_ok());
+        assert_eq!(net.node_count(), 1);
+        // The survivor is recolored to color 1 by the fresh global run.
+        assert_eq!(net.assignment().get(a), Some(Color::new(1)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Strategy instrumentation: wrap any [`RecodingStrategy`] and collect
+//! per-event-type accounting — the bookkeeping behind the §5 metrics,
+//! reusable by examples and by downstream users evaluating their own
+//! strategies.
+
+use crate::{RecodeOutcome, RecodingStrategy};
+use minim_geom::Point;
+use minim_graph::NodeId;
+use minim_net::{Network, NodeConfig};
+
+/// Counters for one event type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindStats {
+    /// Events of this type handled.
+    pub events: usize,
+    /// Recodings those events caused.
+    pub recodings: usize,
+    /// Largest single-event recoding count.
+    pub worst_event: usize,
+}
+
+impl KindStats {
+    fn record(&mut self, outcome: &RecodeOutcome) {
+        self.events += 1;
+        self.recodings += outcome.recodings();
+        self.worst_event = self.worst_event.max(outcome.recodings());
+    }
+
+    /// Mean recodings per event (0 when no events).
+    pub fn mean_recodings(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.recodings as f64 / self.events as f64
+        }
+    }
+}
+
+/// Accumulated per-kind statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StrategyStats {
+    /// Join events.
+    pub joins: KindStats,
+    /// Leave events.
+    pub leaves: KindStats,
+    /// Move events.
+    pub moves: KindStats,
+    /// Range changes (increases and decreases combined; decreases are
+    /// provably recode-free, so their recodings stay 0).
+    pub range_changes: KindStats,
+    /// Highest max-color-index observed after any event.
+    pub peak_color: u32,
+}
+
+impl StrategyStats {
+    /// Totals across all kinds.
+    pub fn total_events(&self) -> usize {
+        self.joins.events + self.leaves.events + self.moves.events + self.range_changes.events
+    }
+
+    /// Total recodings across all kinds (the paper's cumulative
+    /// metric).
+    pub fn total_recodings(&self) -> usize {
+        self.joins.recodings
+            + self.leaves.recodings
+            + self.moves.recodings
+            + self.range_changes.recodings
+    }
+}
+
+impl std::fmt::Display for StrategyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "events: {} joins / {} leaves / {} moves / {} range changes; \
+             recodings: {} (join {:.2}/ev, move {:.2}/ev, range {:.2}/ev); \
+             peak color {}",
+            self.joins.events,
+            self.leaves.events,
+            self.moves.events,
+            self.range_changes.events,
+            self.total_recodings(),
+            self.joins.mean_recodings(),
+            self.moves.mean_recodings(),
+            self.range_changes.mean_recodings(),
+            self.peak_color,
+        )
+    }
+}
+
+/// A strategy wrapper that accounts every event.
+#[derive(Debug, Clone, Default)]
+pub struct Instrumented<S> {
+    inner: S,
+    /// The accumulated counters.
+    pub stats: StrategyStats,
+}
+
+impl<S: RecodingStrategy> Instrumented<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        Instrumented {
+            inner,
+            stats: StrategyStats::default(),
+        }
+    }
+
+    /// The wrapped strategy.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn absorb(&mut self, outcome: &RecodeOutcome) {
+        self.stats.peak_color = self.stats.peak_color.max(outcome.max_color_after);
+    }
+}
+
+impl<S: RecodingStrategy> RecodingStrategy for Instrumented<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn on_join(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> RecodeOutcome {
+        let outcome = self.inner.on_join(net, id, cfg);
+        self.stats.joins.record(&outcome);
+        self.absorb(&outcome);
+        outcome
+    }
+
+    fn on_leave(&mut self, net: &mut Network, id: NodeId) -> RecodeOutcome {
+        let outcome = self.inner.on_leave(net, id);
+        self.stats.leaves.record(&outcome);
+        self.absorb(&outcome);
+        outcome
+    }
+
+    fn on_move(&mut self, net: &mut Network, id: NodeId, to: Point) -> RecodeOutcome {
+        let outcome = self.inner.on_move(net, id, to);
+        self.stats.moves.record(&outcome);
+        self.absorb(&outcome);
+        outcome
+    }
+
+    fn on_set_range(&mut self, net: &mut Network, id: NodeId, range: f64) -> RecodeOutcome {
+        let outcome = self.inner.on_set_range(net, id, range);
+        self.stats.range_changes.record(&outcome);
+        self.absorb(&outcome);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Minim;
+    use minim_geom::{sample, Rect};
+    use minim_net::workload::{JoinWorkload, MovementWorkload};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn counts_every_event_kind() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = Instrumented::new(Minim::default());
+        let mut net = Network::new(25.0);
+        for e in JoinWorkload::paper(20).generate(&mut rng) {
+            s.apply(&mut net, &e);
+        }
+        for e in MovementWorkload::paper(30.0, 1).generate_round(&net, &mut rng) {
+            s.apply(&mut net, &e);
+        }
+        let ids = net.node_ids();
+        let victim = ids[rng.gen_range(0..ids.len())];
+        let r = net.config(victim).unwrap().range;
+        s.on_set_range(&mut net, victim, r * 2.0);
+        s.on_set_range(&mut net, victim, r); // decrease back
+        s.on_leave(&mut net, ids[0]);
+
+        assert_eq!(s.stats.joins.events, 20);
+        assert_eq!(s.stats.moves.events, 20);
+        assert_eq!(s.stats.range_changes.events, 2);
+        assert_eq!(s.stats.leaves.events, 1);
+        assert_eq!(s.stats.total_events(), 43);
+        assert_eq!(s.stats.leaves.recodings, 0, "leaves are free");
+        assert!(s.stats.joins.recodings >= 20, "every join colors the joiner");
+        assert_eq!(s.stats.peak_color, {
+            // Peak is at least the current max (colors never exceeded it
+            // later without being observed).
+            let now = net.max_color_index();
+            s.stats.peak_color.max(now)
+        });
+        assert_eq!(s.name(), "Minim");
+    }
+
+    #[test]
+    fn mean_recodings_and_display() {
+        let mut s = Instrumented::new(Minim::default());
+        let mut net = Network::new(10.0);
+        let arena = Rect::paper_arena();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let id = net.next_id();
+            s.on_join(
+                &mut net,
+                id,
+                NodeConfig::new(sample::uniform_point(&mut rng, &arena), 20.0),
+            );
+        }
+        assert!(s.stats.joins.mean_recodings() >= 1.0);
+        let text = s.stats.to_string();
+        assert!(text.contains("5 joins"));
+        assert!(text.contains("peak color"));
+        assert_eq!(KindStats::default().mean_recodings(), 0.0);
+    }
+
+    #[test]
+    fn worst_event_tracks_maximum() {
+        let mut s = Instrumented::new(Minim::default());
+        let mut net = Network::new(10.0);
+        // A join with duplicate-colored in-neighbors recodes > 1 node.
+        use minim_geom::Point;
+        use minim_graph::Color;
+        let a = net.join(NodeConfig::new(Point::new(44.0, 50.0), 7.0));
+        let b = net.join(NodeConfig::new(Point::new(56.0, 50.0), 7.0));
+        net.set_color(a, Color::new(1));
+        net.set_color(b, Color::new(1));
+        let id = net.next_id();
+        s.on_join(&mut net, id, NodeConfig::new(Point::new(50.0, 50.0), 7.0));
+        assert_eq!(s.stats.joins.worst_event, 2, "one duplicate + the joiner");
+    }
+}

@@ -1,0 +1,312 @@
+//! Uniform-grid spatial index.
+//!
+//! `minim-net` must recompute the induced digraph after every event:
+//! a join, move, or power change asks "which nodes are within distance
+//! `r` of point `p`?" (both directions: who can `n` hear, and who can
+//! hear `n`). A linear scan is `O(n)` per query; with the paper's
+//! workloads (up to ~120 nodes joining, 10 rounds of movement of 40
+//! nodes, 100 replicates per sweep point) the quadratic blow-up is felt
+//! in the harness. A uniform grid with cell size on the order of the
+//! typical query radius answers these queries in expected `O(1)` per
+//! reported neighbor.
+//!
+//! The index stores `(id, Point)` pairs keyed by an opaque `u32` id (the
+//! caller's node id). Updates are incremental: `insert`, `remove`, and
+//! `relocate` all run in expected `O(1)`.
+
+use crate::Point;
+use std::collections::HashMap;
+
+/// A uniform-grid spatial index over `(u32 id, Point)` entries.
+///
+/// Cell size is fixed at construction; queries with radii much larger
+/// than the cell size degrade gracefully (they just scan more cells).
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    /// Sparse cell map: integer cell coords -> ids in that cell.
+    cells: HashMap<(i32, i32), Vec<u32>>,
+    /// Reverse map: id -> (position, cell) for O(1) removal/relocation.
+    entries: HashMap<u32, (Point, (i32, i32))>,
+}
+
+impl SpatialGrid {
+    /// Creates an empty grid with the given cell side length.
+    ///
+    /// A good default is the expected query radius (e.g. the mean
+    /// transmission range); `minim-net` uses `maxr` of the scenario.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        SpatialGrid {
+            cell: cell_size,
+            cells: HashMap::new(),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured cell side length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    #[inline]
+    fn cell_of(&self, p: &Point) -> (i32, i32) {
+        (
+            (p.x / self.cell).floor() as i32,
+            (p.y / self.cell).floor() as i32,
+        )
+    }
+
+    /// Inserts `id` at `pos`. Returns `false` (and does nothing) if the
+    /// id is already present; use [`SpatialGrid::relocate`] to move it.
+    pub fn insert(&mut self, id: u32, pos: Point) -> bool {
+        if self.entries.contains_key(&id) {
+            return false;
+        }
+        let c = self.cell_of(&pos);
+        self.cells.entry(c).or_default().push(id);
+        self.entries.insert(id, (pos, c));
+        true
+    }
+
+    /// Removes `id`. Returns its last position, or `None` if absent.
+    pub fn remove(&mut self, id: u32) -> Option<Point> {
+        let (pos, c) = self.entries.remove(&id)?;
+        if let Some(v) = self.cells.get_mut(&c) {
+            if let Some(i) = v.iter().position(|&x| x == id) {
+                v.swap_remove(i);
+            }
+            if v.is_empty() {
+                self.cells.remove(&c);
+            }
+        }
+        Some(pos)
+    }
+
+    /// Moves `id` to `new_pos`. Returns `false` if the id is absent.
+    pub fn relocate(&mut self, id: u32, new_pos: Point) -> bool {
+        let Some(&(_, old_cell)) = self.entries.get(&id) else {
+            return false;
+        };
+        let new_cell = self.cell_of(&new_pos);
+        if new_cell != old_cell {
+            if let Some(v) = self.cells.get_mut(&old_cell) {
+                if let Some(i) = v.iter().position(|&x| x == id) {
+                    v.swap_remove(i);
+                }
+                if v.is_empty() {
+                    self.cells.remove(&old_cell);
+                }
+            }
+            self.cells.entry(new_cell).or_default().push(id);
+        }
+        self.entries.insert(id, (new_pos, new_cell));
+        true
+    }
+
+    /// The current position of `id`, if indexed.
+    pub fn position(&self, id: u32) -> Option<Point> {
+        self.entries.get(&id).map(|&(p, _)| p)
+    }
+
+    /// Calls `f(id, pos)` for every entry within distance `radius` of
+    /// `center` (boundary inclusive), in unspecified order.
+    ///
+    /// The center entry itself is reported too if it is indexed and in
+    /// range; callers that want "other nodes" filter by id.
+    pub fn for_each_within<F: FnMut(u32, Point)>(&self, center: &Point, radius: f64, mut f: F) {
+        if radius < 0.0 {
+            return;
+        }
+        let r2 = radius * radius;
+        let min_cx = ((center.x - radius) / self.cell).floor() as i32;
+        let max_cx = ((center.x + radius) / self.cell).floor() as i32;
+        let min_cy = ((center.y - radius) / self.cell).floor() as i32;
+        let max_cy = ((center.y + radius) / self.cell).floor() as i32;
+        for cx in min_cx..=max_cx {
+            for cy in min_cy..=max_cy {
+                let Some(ids) = self.cells.get(&(cx, cy)) else {
+                    continue;
+                };
+                for &id in ids {
+                    let p = self.entries[&id].0;
+                    if p.dist2(center) <= r2 {
+                        f(id, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects the ids within `radius` of `center` (boundary
+    /// inclusive), sorted by id for determinism.
+    pub fn within(&self, center: &Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |id, _| out.push(id));
+        out.sort_unstable();
+        out
+    }
+
+    /// Iterates over all `(id, position)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Point)> + '_ {
+        self.entries.iter().map(|(&id, &(p, _))| (id, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_force_within(pts: &[(u32, Point)], center: &Point, r: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = pts
+            .iter()
+            .filter(|(_, p)| center.within(p, r))
+            .map(|&(id, _)| id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut g = SpatialGrid::new(10.0);
+        assert!(g.is_empty());
+        assert!(g.insert(7, Point::new(1.0, 2.0)));
+        assert!(!g.insert(7, Point::new(3.0, 4.0)), "duplicate insert must fail");
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.position(7), Some(Point::new(1.0, 2.0)));
+        assert_eq!(g.remove(7), Some(Point::new(1.0, 2.0)));
+        assert_eq!(g.remove(7), None);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn relocate_moves_across_cells() {
+        let mut g = SpatialGrid::new(1.0);
+        g.insert(1, Point::new(0.5, 0.5));
+        assert!(g.relocate(1, Point::new(10.5, 10.5)));
+        assert_eq!(g.position(1), Some(Point::new(10.5, 10.5)));
+        // The old cell must no longer report it.
+        assert!(g.within(&Point::new(0.5, 0.5), 2.0).is_empty());
+        assert_eq!(g.within(&Point::new(10.5, 10.5), 0.1), vec![1]);
+    }
+
+    #[test]
+    fn relocate_absent_id_fails() {
+        let mut g = SpatialGrid::new(1.0);
+        assert!(!g.relocate(42, Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn query_includes_boundary() {
+        let mut g = SpatialGrid::new(5.0);
+        g.insert(1, Point::new(0.0, 0.0));
+        g.insert(2, Point::new(3.0, 4.0)); // distance exactly 5
+        assert_eq!(g.within(&Point::new(0.0, 0.0), 5.0), vec![1, 2]);
+        assert_eq!(g.within(&Point::new(0.0, 0.0), 4.99), vec![1]);
+    }
+
+    #[test]
+    fn negative_radius_returns_nothing() {
+        let mut g = SpatialGrid::new(5.0);
+        g.insert(1, Point::new(0.0, 0.0));
+        assert!(g.within(&Point::new(0.0, 0.0), -1.0).is_empty());
+    }
+
+    #[test]
+    fn works_with_negative_coordinates() {
+        let mut g = SpatialGrid::new(3.0);
+        g.insert(1, Point::new(-10.0, -10.0));
+        g.insert(2, Point::new(-11.0, -10.0));
+        g.insert(3, Point::new(10.0, 10.0));
+        assert_eq!(g.within(&Point::new(-10.0, -10.0), 1.5), vec![1, 2]);
+    }
+
+    #[test]
+    fn iter_reports_all_entries() {
+        let mut g = SpatialGrid::new(2.0);
+        for i in 0..20u32 {
+            g.insert(i, Point::new(i as f64, (i * 3 % 7) as f64));
+        }
+        let mut ids: Vec<u32> = g.iter().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size")]
+    fn zero_cell_size_panics() {
+        let _ = SpatialGrid::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_brute_force(
+            pts in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 0..60),
+            qx in 0.0..100.0f64, qy in 0.0..100.0f64,
+            r in 0.0..60.0f64,
+            cell in 0.5..40.0f64,
+        ) {
+            let mut g = SpatialGrid::new(cell);
+            let mut entries = Vec::new();
+            for (i, &(x, y)) in pts.iter().enumerate() {
+                let p = Point::new(x, y);
+                g.insert(i as u32, p);
+                entries.push((i as u32, p));
+            }
+            let center = Point::new(qx, qy);
+            prop_assert_eq!(g.within(&center, r), brute_force_within(&entries, &center, r));
+        }
+
+        #[test]
+        fn matches_brute_force_after_churn(
+            ops in proptest::collection::vec((0u32..30, 0.0..100.0f64, 0.0..100.0f64, 0u8..3), 0..80),
+            r in 0.0..50.0f64,
+        ) {
+            // Apply a random insert/remove/relocate churn and check a
+            // query against the surviving ground-truth set.
+            let mut g = SpatialGrid::new(7.0);
+            let mut truth: std::collections::HashMap<u32, Point> = Default::default();
+            for (id, x, y, op) in ops {
+                let p = Point::new(x, y);
+                match op {
+                    0 => {
+                        if g.insert(id, p) {
+                            truth.insert(id, p);
+                        }
+                    }
+                    1 => {
+                        g.remove(id);
+                        truth.remove(&id);
+                    }
+                    _ => {
+                        if g.relocate(id, p) {
+                            truth.insert(id, p);
+                        }
+                    }
+                }
+            }
+            let center = Point::new(50.0, 50.0);
+            let entries: Vec<(u32, Point)> = truth.iter().map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(g.within(&center, r), brute_force_within(&entries, &center, r));
+            prop_assert_eq!(g.len(), truth.len());
+        }
+    }
+}

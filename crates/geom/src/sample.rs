@@ -1,0 +1,153 @@
+//! Deterministic samplers for the paper's experimental distributions.
+//!
+//! §5 of the paper generates random ad-hoc networks as follows:
+//!
+//! * positions: x and y independently uniform over `[0, 100]`;
+//! * transmission ranges: uniform over `(minr, maxr)`
+//!   (defaults `minr = 20.5`, `maxr = 30.5`);
+//! * movement (§5.3): a uniformly random direction and a displacement
+//!   uniform over `[0, maxdisp]`.
+//!
+//! All samplers take an explicit `Rng` so experiments are reproducible
+//! and parallelizable with per-replicate seeds.
+
+use crate::{Point, Rect};
+use rand::Rng;
+
+/// Samples a position uniformly inside `arena`.
+pub fn uniform_point<R: Rng + ?Sized>(rng: &mut R, arena: &Rect) -> Point {
+    Point::new(
+        rng.gen_range(arena.min_x..=arena.max_x),
+        rng.gen_range(arena.min_y..=arena.max_y),
+    )
+}
+
+/// Samples a transmission range uniformly from `(minr, maxr)`.
+///
+/// Degenerate intervals (`minr == maxr`) return the single value, which
+/// lets sweeps pin the range exactly.
+///
+/// # Panics
+/// Panics if `minr > maxr` or either bound is negative.
+pub fn uniform_range<R: Rng + ?Sized>(rng: &mut R, minr: f64, maxr: f64) -> f64 {
+    assert!(
+        0.0 <= minr && minr <= maxr,
+        "invalid range interval ({minr}, {maxr})"
+    );
+    if minr == maxr {
+        minr
+    } else {
+        rng.gen_range(minr..maxr)
+    }
+}
+
+/// Samples the §5.3 random displacement: uniform direction, length
+/// uniform over `[0, maxdisp]`, clamped back into `arena`.
+pub fn random_move<R: Rng + ?Sized>(
+    rng: &mut R,
+    from: Point,
+    maxdisp: f64,
+    arena: &Rect,
+) -> Point {
+    assert!(maxdisp >= 0.0, "maxdisp must be non-negative, got {maxdisp}");
+    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+    let disp = rng.gen_range(0.0..=maxdisp);
+    arena.clamp(from.displaced(angle, disp))
+}
+
+/// Derives a decorrelated child seed from `(base, index)`.
+///
+/// Used by the parallel experiment runner: replicate `i` of an
+/// experiment seeded with `base` always sees `child_seed(base, i)`,
+/// whether it runs serially or on a worker thread, so tables are
+/// bit-identical either way. SplitMix64 finalizer — cheap and well
+/// mixed.
+pub fn child_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_point_stays_in_arena() {
+        let arena = Rect::paper_arena();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let p = uniform_point(&mut rng, &arena);
+            assert!(arena.contains(&p));
+        }
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let r = uniform_range(&mut rng, 20.5, 30.5);
+            assert!((20.5..30.5).contains(&r));
+        }
+    }
+
+    #[test]
+    fn degenerate_range_interval_is_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(uniform_range(&mut rng, 12.5, 12.5), 12.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range interval")]
+    fn inverted_range_interval_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = uniform_range(&mut rng, 5.0, 1.0);
+    }
+
+    #[test]
+    fn random_move_is_bounded_and_clamped() {
+        let arena = Rect::paper_arena();
+        let mut rng = StdRng::seed_from_u64(4);
+        let from = Point::new(1.0, 1.0); // near the corner: clamping kicks in
+        for _ in 0..500 {
+            let to = random_move(&mut rng, from, 40.0, &arena);
+            assert!(arena.contains(&to));
+            // Clamping can only shorten the hop, never lengthen it.
+            assert!(from.dist(&to) <= 40.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_move_zero_disp_is_identity() {
+        let arena = Rect::paper_arena();
+        let mut rng = StdRng::seed_from_u64(5);
+        let from = Point::new(30.0, 60.0);
+        let to = random_move(&mut rng, from, 0.0, &arena);
+        assert!(from.dist(&to) < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let arena = Rect::paper_arena();
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(uniform_point(&mut a, &arena), uniform_point(&mut b, &arena));
+        }
+    }
+
+    #[test]
+    fn child_seeds_are_distinct_and_stable() {
+        let s: Vec<u64> = (0..64).map(|i| child_seed(42, i)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), s.len(), "child seeds must not collide");
+        assert_eq!(child_seed(42, 7), child_seed(42, 7));
+        assert_ne!(child_seed(42, 7), child_seed(43, 7));
+    }
+}

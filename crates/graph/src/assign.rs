@@ -1,0 +1,235 @@
+//! CDMA codes (colors) and network-wide code assignments.
+//!
+//! Codes are positive integers (§1: "each code modeled as a positive
+//! integer"); the efficiency metric throughout the paper is the
+//! **maximum code index assigned** in the network, so [`Assignment`]
+//! tracks that cheaply, along with the diff operation used to count
+//! *recodings* (nodes whose new color differs from their old one, the
+//! paper's second metric).
+
+use crate::digraph::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A CDMA code: a positive integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Color(u32);
+
+impl Color {
+    /// Creates a color.
+    ///
+    /// # Panics
+    /// Panics if `c == 0`; codes are positive integers.
+    #[inline]
+    pub fn new(c: u32) -> Self {
+        assert!(c >= 1, "codes are positive integers; got 0");
+        Color(c)
+    }
+
+    /// The raw index (≥ 1).
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The smallest positive color not contained in the sorted-or-not
+    /// iterator `used` — the "lowest available color" rule shared by
+    /// the CP baseline and `RecodeOnPowIncrease`.
+    ///
+    /// ```
+    /// use minim_graph::Color;
+    /// let used = [Color::new(1), Color::new(3)];
+    /// assert_eq!(Color::lowest_excluding(used), Color::new(2));
+    /// assert_eq!(Color::lowest_excluding([]), Color::new(1));
+    /// ```
+    pub fn lowest_excluding<I: IntoIterator<Item = Color>>(used: I) -> Color {
+        let mut taken: Vec<u32> = used.into_iter().map(|c| c.0).collect();
+        taken.sort_unstable();
+        taken.dedup();
+        let mut candidate = 1u32;
+        for t in taken {
+            if t > candidate {
+                break;
+            }
+            if t == candidate {
+                candidate += 1;
+            }
+        }
+        Color(candidate)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A (partial) code assignment: node → color.
+///
+/// Nodes without an entry are *uncolored* (e.g. a node that has not yet
+/// finished its join protocol).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Assignment {
+    colors: HashMap<NodeId, Color>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Assignment::default()
+    }
+
+    /// The color of `n`, if assigned.
+    #[inline]
+    pub fn get(&self, n: NodeId) -> Option<Color> {
+        self.colors.get(&n).copied()
+    }
+
+    /// Sets the color of `n`, returning the previous color if any.
+    pub fn set(&mut self, n: NodeId, c: Color) -> Option<Color> {
+        self.colors.insert(n, c)
+    }
+
+    /// Removes `n`'s color (e.g. on leave), returning it if present.
+    pub fn unset(&mut self, n: NodeId) -> Option<Color> {
+        self.colors.remove(&n)
+    }
+
+    /// Number of colored nodes.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether no node is colored.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// The maximum code index assigned, or 0 if empty.
+    ///
+    /// This is the paper's first performance metric ("the lower, the
+    /// better is the code reuse", §5).
+    pub fn max_color_index(&self) -> u32 {
+        self.colors.values().map(|c| c.0).max().unwrap_or(0)
+    }
+
+    /// Number of distinct colors in use.
+    pub fn distinct_colors(&self) -> usize {
+        let mut v: Vec<u32> = self.colors.values().map(|c| c.0).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Iterates over `(node, color)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Color)> + '_ {
+        self.colors.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// Counts the *recodings* between `before` and `self`: nodes whose
+    /// color in `self` differs from their color in `before`, including
+    /// nodes newly assigned (a joiner's first code counts as a recoding,
+    /// as in the paper's Fig 4 accounting). Nodes that disappeared
+    /// (left the network) do not count.
+    pub fn recodings_since(&self, before: &Assignment) -> usize {
+        self.colors
+            .iter()
+            .filter(|(n, c)| before.get(**n) != Some(**c))
+            .count()
+    }
+
+    /// The nodes recoded between `before` and `self`, with
+    /// `(node, old, new)` triples; `old` is `None` for fresh joiners.
+    pub fn recoded_nodes(&self, before: &Assignment) -> Vec<(NodeId, Option<Color>, Color)> {
+        let mut v: Vec<(NodeId, Option<Color>, Color)> = self
+            .colors
+            .iter()
+            .filter(|(n, c)| before.get(**n) != Some(**c))
+            .map(|(&n, &c)| (n, before.get(n), c))
+            .collect();
+        v.sort_by_key(|&(n, _, _)| n);
+        v
+    }
+}
+
+impl FromIterator<(NodeId, Color)> for Assignment {
+    fn from_iter<T: IntoIterator<Item = (NodeId, Color)>>(iter: T) -> Self {
+        Assignment {
+            colors: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn c(i: u32) -> Color {
+        Color::new(i)
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn color_zero_is_rejected() {
+        let _ = Color::new(0);
+    }
+
+    #[test]
+    fn lowest_excluding_fills_gaps() {
+        assert_eq!(Color::lowest_excluding([]), c(1));
+        assert_eq!(Color::lowest_excluding([c(1), c(2), c(3)]), c(4));
+        assert_eq!(Color::lowest_excluding([c(2), c(4)]), c(1));
+        assert_eq!(Color::lowest_excluding([c(1), c(3)]), c(2));
+        assert_eq!(Color::lowest_excluding([c(1), c(1), c(2)]), c(3));
+    }
+
+    #[test]
+    fn set_get_unset() {
+        let mut a = Assignment::new();
+        assert_eq!(a.get(n(1)), None);
+        assert_eq!(a.set(n(1), c(4)), None);
+        assert_eq!(a.set(n(1), c(5)), Some(c(4)));
+        assert_eq!(a.get(n(1)), Some(c(5)));
+        assert_eq!(a.unset(n(1)), Some(c(5)));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn max_color_index_and_distinct() {
+        let a: Assignment = [(n(1), c(3)), (n(2), c(7)), (n(3), c(3))]
+            .into_iter()
+            .collect();
+        assert_eq!(a.max_color_index(), 7);
+        assert_eq!(a.distinct_colors(), 2);
+        assert_eq!(Assignment::new().max_color_index(), 0);
+    }
+
+    #[test]
+    fn recodings_count_changes_and_joins_but_not_leaves() {
+        let before: Assignment = [(n(1), c(1)), (n(2), c(2)), (n(3), c(3))]
+            .into_iter()
+            .collect();
+        // Node 1 keeps its color, node 2 changes, node 3 leaves,
+        // node 4 joins.
+        let after: Assignment = [(n(1), c(1)), (n(2), c(5)), (n(4), c(2))]
+            .into_iter()
+            .collect();
+        assert_eq!(after.recodings_since(&before), 2);
+        let detail = after.recoded_nodes(&before);
+        assert_eq!(
+            detail,
+            vec![(n(2), Some(c(2)), c(5)), (n(4), None, c(2))]
+        );
+    }
+
+    #[test]
+    fn recodings_since_self_is_zero() {
+        let a: Assignment = [(n(1), c(1)), (n(2), c(2))].into_iter().collect();
+        assert_eq!(a.recodings_since(&a.clone()), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Connected components of the underlying undirected graph.
+//!
+//! Used by the analysis layer (`minim-net::stats`), by the parallel
+//! event machinery (disconnected joiners always commute), and by
+//! tests that need to reason about fragmentation under obstacles and
+//! churn.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::HashMap;
+
+/// The partition of present nodes into undirected connected components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Components, each sorted ascending; ordered by smallest member.
+    pub groups: Vec<Vec<NodeId>>,
+    membership: HashMap<NodeId, usize>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The component index of `n`, if present.
+    pub fn component_of(&self, n: NodeId) -> Option<usize> {
+        self.membership.get(&n).copied()
+    }
+
+    /// Whether `a` and `b` are connected (both present, same group).
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.component_of(a), self.component_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn largest(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Computes the components by BFS over undirected adjacency.
+pub fn connected_components(g: &DiGraph) -> Components {
+    let mut membership: HashMap<NodeId, usize> = HashMap::with_capacity(g.node_count());
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    for start in g.nodes() {
+        if membership.contains_key(&start) {
+            continue;
+        }
+        let idx = groups.len();
+        let mut group = vec![start];
+        membership.insert(start, idx);
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for v in g.undirected_neighbors(u) {
+                if let std::collections::hash_map::Entry::Vacant(e) = membership.entry(v) {
+                    e.insert(idx);
+                    group.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        group.sort_unstable();
+        groups.push(group);
+    }
+    Components { groups, membership }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = DiGraph::new();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), 0);
+        assert_eq!(c.component_of(n(1)), None);
+    }
+
+    #[test]
+    fn two_islands_and_a_bridge() {
+        let mut g = DiGraph::new();
+        for i in 0..6 {
+            g.insert_node(n(i));
+        }
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(3), n(4));
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3, "{{0,1,2}}, {{3,4}}, {{5}}");
+        assert!(c.same_component(n(0), n(2)));
+        assert!(!c.same_component(n(0), n(3)));
+        assert!(!c.same_component(n(5), n(4)));
+        assert_eq!(c.largest(), 3);
+        assert_eq!(c.groups[0], vec![n(0), n(1), n(2)]);
+
+        // Bridging merges.
+        g.add_edge(n(2), n(3));
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 2);
+        assert!(c.same_component(n(0), n(4)));
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        let mut g = DiGraph::new();
+        g.insert_node(n(0));
+        g.insert_node(n(1));
+        g.add_edge(n(1), n(0)); // one-way only
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert!(c.same_component(n(0), n(1)));
+    }
+
+    proptest! {
+        /// Component count + edge count sanity: a graph with n nodes
+        /// and c components has at least n − c undirected edges, and
+        /// membership is a partition.
+        #[test]
+        fn components_form_a_partition(
+            edges in proptest::collection::vec((0u32..15, 0u32..15), 0..40)
+        ) {
+            let mut g = DiGraph::new();
+            for i in 0..15 {
+                g.insert_node(n(i));
+            }
+            for (a, b) in edges {
+                if a != b {
+                    g.add_edge(n(a), n(b));
+                }
+            }
+            let c = connected_components(&g);
+            let total: usize = c.groups.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, 15, "every node in exactly one group");
+            for (gi, group) in c.groups.iter().enumerate() {
+                for &m in group {
+                    prop_assert_eq!(c.component_of(m), Some(gi));
+                }
+            }
+            // Connectivity agrees with hop distance.
+            for a in 0..15u32 {
+                for b in 0..15u32 {
+                    let connected =
+                        crate::hops::hop_distance(&g, n(a), n(b)).is_some();
+                    prop_assert_eq!(connected, c.same_component(n(a), n(b)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Bertsekas' auction algorithm for maximum-weight bipartite matching.
+//!
+//! An independent solver with completely different mechanics from the
+//! Hungarian algorithm (`crate::hungarian`): unassigned left vertices
+//! *bid* for their most profitable right vertex, prices rise, and the
+//! process settles into a price equilibrium. With integer weights and
+//! bidding increment `ε < 1/n`, the equilibrium assignment is exactly
+//! optimal (within-`nε` optimality plus integrality).
+//!
+//! The production strategies use the Hungarian solver; the auction
+//! exists as a cross-validation oracle — the property tests require
+//! both to agree on the optimal total weight on random instances,
+//! which guards each against implementation bugs in the other far more
+//! strongly than unit tests can.
+
+use crate::{Matching, WeightedBipartite};
+
+/// Scaled integer arithmetic: weights × `SCALE` so the ε-increment
+/// stays integral. `SCALE > n` guarantees exact optimality.
+#[allow(clippy::needless_range_loop)] // price[j] is index-coupled to payoff(i, j)
+fn solve_auction(g: &WeightedBipartite) -> Matching {
+    let n = g.left_count();
+    let rc = g.right_count();
+    if n == 0 {
+        return Matching {
+            pairs: Vec::new(),
+            weight: 0,
+        };
+    }
+    // Square instance: one private dummy object per person guarantees
+    // feasibility (being unmatched has payoff 0).
+    let m = rc + n;
+    let scale = (m + 1) as i64;
+    let eps = 1i64; // scaled ε = 1/scale < 1/m
+
+    // payoff(i, j) in scaled units.
+    let payoff = |i: usize, j: usize| -> Option<i64> {
+        if j < rc {
+            g.weight(i, j).map(|w| w * scale)
+        } else if j == rc + i {
+            Some(0) // i's private dummy
+        } else {
+            None
+        }
+    };
+
+    let mut price = vec![0i64; m];
+    let mut owner: Vec<Option<usize>> = vec![None; m];
+    let mut assigned: Vec<Option<usize>> = vec![None; n];
+    let mut queue: Vec<usize> = (0..n).collect();
+
+    while let Some(i) = queue.pop() {
+        // Best and second-best net value for bidder i.
+        let mut best: Option<(usize, i64)> = None;
+        let mut second: i64 = i64::MIN;
+        for j in 0..m {
+            let Some(a) = payoff(i, j) else { continue };
+            let net = a - price[j];
+            match best {
+                None => best = Some((j, net)),
+                Some((_, bv)) if net > bv => {
+                    second = bv;
+                    best = Some((j, net));
+                }
+                Some(_) => second = second.max(net),
+            }
+        }
+        let (j, bv) = best.expect("the private dummy is always available");
+        let raise = if second == i64::MIN {
+            eps
+        } else {
+            bv - second + eps
+        };
+        price[j] += raise;
+        if let Some(prev) = owner[j].replace(i) {
+            assigned[prev] = None;
+            queue.push(prev);
+        }
+        assigned[i] = Some(j);
+    }
+
+    let mut pairs = vec![None; n];
+    let mut weight = 0i64;
+    for (i, slot) in assigned.iter().enumerate() {
+        if let Some(j) = *slot {
+            if j < rc {
+                if let Some(w) = g.weight(i, j) {
+                    pairs[i] = Some(j);
+                    weight += w;
+                }
+            }
+        }
+    }
+    let result = Matching { pairs, weight };
+    debug_assert!(result.validate(g).is_ok());
+    result
+}
+
+/// Maximum-weight matching via the auction algorithm. Same contract as
+/// [`crate::max_weight_matching`]; different engine.
+pub fn auction_matching(g: &WeightedBipartite) -> Matching {
+    solve_auction(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{brute, max_weight_matching};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_and_trivial_instances() {
+        let g = WeightedBipartite::new(0, 0);
+        assert_eq!(auction_matching(&g).weight, 0);
+        let g = WeightedBipartite::new(3, 2);
+        assert_eq!(auction_matching(&g).cardinality(), 0);
+        let mut g = WeightedBipartite::new(1, 1);
+        g.add_edge(0, 0, 7);
+        let m = auction_matching(&g);
+        assert_eq!(m.weight, 7);
+        assert_eq!(m.pairs, vec![Some(0)]);
+    }
+
+    #[test]
+    fn competition_drives_prices_correctly() {
+        // Two bidders, one prize: the one valuing it more wins; the
+        // loser takes its alternative.
+        let mut g = WeightedBipartite::new(2, 2);
+        g.add_edge(0, 0, 5);
+        g.add_edge(1, 0, 3);
+        g.add_edge(1, 1, 2);
+        let m = auction_matching(&g);
+        assert_eq!(m.weight, 7);
+        assert_eq!(m.pairs, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn minim_style_keep_edges_win() {
+        // The Fig 4(b)-like structure: keep-edges (3) must be retained,
+        // one per class.
+        let mut g = WeightedBipartite::new(4, 4);
+        for l in 0..4 {
+            for r in 0..4 {
+                let keep = ((l == 0 || l == 1) && r == 0) || (l == 2 && r == 2);
+                let w = if keep { 3 } else { 1 };
+                g.add_edge(l, r, w);
+            }
+        }
+        let m = auction_matching(&g);
+        assert_eq!(m.weight, 8, "two keeps + two unit edges");
+        assert_eq!(m.cardinality(), 4);
+    }
+
+    #[test]
+    fn agrees_with_hungarian_on_random_dense_instances() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let l = rng.gen_range(1..8);
+            let r = rng.gen_range(1..8);
+            let mut g = WeightedBipartite::new(l, r);
+            for i in 0..l {
+                for j in 0..r {
+                    if rng.gen_bool(0.7) {
+                        g.add_edge(i, j, rng.gen_range(1..12));
+                    }
+                }
+            }
+            let a = auction_matching(&g);
+            let h = max_weight_matching(&g);
+            assert!(a.validate(&g).is_ok());
+            assert_eq!(a.weight, h.weight, "solvers must agree on the optimum");
+        }
+    }
+
+    proptest! {
+        /// Three-way agreement: auction == Hungarian == brute force.
+        #[test]
+        fn three_solvers_agree(
+            l in 0usize..6,
+            r in 0usize..6,
+            edges in proptest::collection::vec((0usize..6, 0usize..6, 1i64..9), 0..20)
+        ) {
+            let mut g = WeightedBipartite::new(l, r);
+            for (a, b, w) in edges {
+                if a < l && b < r {
+                    g.add_edge(a, b, w);
+                }
+            }
+            let auction = auction_matching(&g);
+            prop_assert!(auction.validate(&g).is_ok());
+            let hungarian = max_weight_matching(&g);
+            let brute = brute::brute_force_max_weight(&g);
+            prop_assert_eq!(auction.weight, brute.weight);
+            prop_assert_eq!(hungarian.weight, brute.weight);
+        }
+
+        /// The auction result is maximal (no addable edge), like the
+        /// Hungarian one.
+        #[test]
+        fn auction_result_is_maximal(
+            edges in proptest::collection::vec((0usize..5, 0usize..5, 1i64..5), 0..15)
+        ) {
+            let mut g = WeightedBipartite::new(5, 5);
+            for (a, b, w) in edges {
+                g.add_edge(a, b, w);
+            }
+            let m = auction_matching(&g);
+            let mut right_used = [false; 5];
+            for p in m.pairs.iter().flatten() {
+                right_used[*p] = true;
+            }
+            for l in 0..5 {
+                if m.pairs[l].is_none() {
+                    for &(r, _) in g.neighbors(l) {
+                        prop_assert!(right_used[r], "edge ({l},{r}) addable");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,644 @@
+//! The power-controlled ad-hoc network substrate.
+//!
+//! §2 of the paper: a network is a set of nodes, each with a position
+//! in the plane and a (variable) maximum transmission power range; the
+//! induced digraph has an edge `v_i → v_j` iff `d_ij <= r_i`. Nodes
+//! may **join**, **leave**, **move**, and **increase/decrease power**;
+//! each such reconfiguration updates the induced digraph, and it is the
+//! recoding strategy's job (`minim-core`) to restore CA1/CA2 on the new
+//! graph.
+//!
+//! [`Network`] owns:
+//!
+//! * the node configurations ([`NodeConfig`]: position + range),
+//! * the induced [`DiGraph`], maintained incrementally through a
+//!   [`SpatialGrid`] so topology updates cost `O(affected neighborhood)`
+//!   rather than `O(n)`,
+//! * the current code [`Assignment`].
+//!
+//! [`event::Event`] reifies the four reconfiguration types;
+//! [`workload`] generates the randomized event sequences of §5.
+
+pub mod event;
+pub mod mobility;
+pub mod stats;
+pub mod trace;
+pub mod workload;
+
+use minim_geom::segment::line_of_sight_blocked;
+use minim_geom::{Point, Rect, Segment, SpatialGrid};
+use minim_graph::conflict;
+use minim_graph::{Assignment, Color, DiGraph, NodeId};
+use std::collections::HashMap;
+
+/// A node's radio configuration: where it is and how far it transmits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConfig {
+    /// Position in the plane.
+    pub pos: Point,
+    /// Maximum transmission power range (`r_i` in the paper).
+    pub range: f64,
+}
+
+impl NodeConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics if `range` is negative or not finite.
+    pub fn new(pos: Point, range: f64) -> Self {
+        assert!(
+            range.is_finite() && range >= 0.0,
+            "range must be finite and non-negative, got {range}"
+        );
+        NodeConfig { pos, range }
+    }
+}
+
+/// The `1n / 2n / 3n` partition induced on the existing nodes by node
+/// `n` (Fig 2 of the paper):
+///
+/// * `one` — nodes with an edge **into** `n` only (they can reach `n`,
+///   `n` cannot reach them);
+/// * `two` — nodes with edges in **both** directions;
+/// * `three` — nodes `n` reaches but that cannot reach `n`;
+/// * set `4n` (no edges either way) is implicit — everyone else.
+///
+/// The recode set of a join/move is `one ∪ two ∪ {n}`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JoinPartitions {
+    /// In-only neighbors (`1n`), sorted.
+    pub one: Vec<NodeId>,
+    /// Bidirectional neighbors (`2n`), sorted.
+    pub two: Vec<NodeId>,
+    /// Out-only neighbors (`3n`), sorted.
+    pub three: Vec<NodeId>,
+}
+
+impl JoinPartitions {
+    /// `1n ∪ 2n` — the existing nodes that must all end up with
+    /// pairwise-distinct colors (they all transmit into `n`).
+    pub fn in_union(&self) -> Vec<NodeId> {
+        let mut v = self.one.clone();
+        v.extend_from_slice(&self.two);
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A power-controlled ad-hoc network with its induced digraph and the
+/// current code assignment.
+#[derive(Debug, Clone)]
+pub struct Network {
+    graph: DiGraph,
+    configs: HashMap<NodeId, NodeConfig>,
+    grid: SpatialGrid,
+    assignment: Assignment,
+    next_id: u32,
+    /// Upper bound on every present node's range; used as the query
+    /// radius when looking for *in*-neighbors. Monotone (removals do
+    /// not shrink it) — conservative but correct.
+    max_range_bound: f64,
+    /// Opaque walls for the §2 non-free-space generalization: a link
+    /// exists only when in range **and** unobstructed.
+    obstacles: Vec<Segment>,
+}
+
+impl Network {
+    /// Creates an empty network. `cell_size_hint` sizes the spatial
+    /// index; a good value is the typical transmission range (the
+    /// paper's experiments use ~25).
+    pub fn new(cell_size_hint: f64) -> Self {
+        Network {
+            graph: DiGraph::new(),
+            configs: HashMap::new(),
+            grid: SpatialGrid::new(cell_size_hint),
+            assignment: Assignment::new(),
+            next_id: 0,
+            max_range_bound: 0.0,
+            obstacles: Vec::new(),
+        }
+    }
+
+    /// Adds an opaque wall (§2's non-free-space generalization) and
+    /// rewires every node's links. Obstacles only *remove* edges, i.e.
+    /// only remove constraints, so a valid assignment stays valid.
+    pub fn add_obstacle(&mut self, wall: Segment) {
+        self.obstacles.push(wall);
+        let ids = self.node_ids();
+        for id in ids {
+            self.rewire(id);
+        }
+    }
+
+    /// The installed obstacles.
+    pub fn obstacles(&self) -> &[Segment] {
+        &self.obstacles
+    }
+
+    /// Whether the sight line between two points crosses a wall.
+    pub fn line_blocked(&self, a: &Point, b: &Point) -> bool {
+        line_of_sight_blocked(&self.obstacles, a, b)
+    }
+
+    /// Allocates a fresh node id (strictly increasing; also the CP
+    /// baseline's node identity).
+    pub fn next_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// The induced digraph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The current code assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Mutable access to the assignment (recoding strategies write
+    /// through this).
+    pub fn assignment_mut(&mut self) -> &mut Assignment {
+        &mut self.assignment
+    }
+
+    /// The configuration of `id`, if present.
+    pub fn config(&self, id: NodeId) -> Option<NodeConfig> {
+        self.configs.get(&id).copied()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Whether `id` is in the network.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.graph.contains(id)
+    }
+
+    /// Present node ids, ascending.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.graph.nodes().collect()
+    }
+
+    /// Validates CA1/CA2 on the current graph and assignment.
+    pub fn validate(&self) -> Result<(), conflict::Violation> {
+        conflict::validate(&self.graph, &self.assignment)
+    }
+
+    /// Inserts node `id` with configuration `cfg` and wires up the
+    /// induced edges in both directions. The node starts **uncolored**;
+    /// the recoding strategy must assign it a code.
+    ///
+    /// # Panics
+    /// Panics if `id` already exists.
+    pub fn insert_node(&mut self, id: NodeId, cfg: NodeConfig) {
+        assert!(!self.graph.contains(id), "insert_node: {id} already present");
+        self.graph.insert_node(id);
+        self.configs.insert(id, cfg);
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.max_range_bound = self.max_range_bound.max(cfg.range);
+        self.grid.insert(id.0, cfg.pos);
+        self.rewire(id);
+    }
+
+    /// Convenience: insert at a fresh id. Returns the id.
+    pub fn join(&mut self, cfg: NodeConfig) -> NodeId {
+        let id = self.next_id();
+        self.insert_node(id, cfg);
+        id
+    }
+
+    /// Removes node `id`, its edges, and its color.
+    ///
+    /// # Panics
+    /// Panics if `id` is absent.
+    pub fn remove_node(&mut self, id: NodeId) {
+        assert!(self.graph.contains(id), "remove_node: missing {id}");
+        self.graph.remove_node(id);
+        self.configs.remove(&id);
+        self.grid.remove(id.0);
+        self.assignment.unset(id);
+    }
+
+    /// Moves node `id` to `to` and recomputes its incident edges. The
+    /// node keeps its (possibly now-conflicting) color; the strategy
+    /// decides what to recode.
+    ///
+    /// # Panics
+    /// Panics if `id` is absent.
+    pub fn move_node(&mut self, id: NodeId, to: Point) {
+        let cfg = self.configs.get_mut(&id).expect("move_node: missing node");
+        cfg.pos = to;
+        self.grid.relocate(id.0, to);
+        self.rewire(id);
+    }
+
+    /// Sets node `id`'s transmission range. Only *out*-edges of `id`
+    /// change (who `id` can reach); in-edges depend on the other nodes'
+    /// ranges and are untouched.
+    ///
+    /// # Panics
+    /// Panics if `id` is absent or the range is invalid.
+    pub fn set_range(&mut self, id: NodeId, range: f64) {
+        assert!(
+            range.is_finite() && range >= 0.0,
+            "range must be finite and non-negative, got {range}"
+        );
+        let cfg = self.configs.get_mut(&id).expect("set_range: missing node");
+        cfg.range = range;
+        self.max_range_bound = self.max_range_bound.max(range);
+        let pos = cfg.pos;
+        // Recompute out-edges from scratch.
+        let old_out: Vec<NodeId> = self.graph.out_neighbors(id).to_vec();
+        for v in old_out {
+            self.graph.remove_edge(id, v);
+        }
+        let mut targets = Vec::new();
+        self.grid.for_each_within(&pos, range, |other, opos| {
+            if other != id.0 && !line_of_sight_blocked(&self.obstacles, &pos, &opos) {
+                targets.push(NodeId(other));
+            }
+        });
+        for v in targets {
+            self.graph.add_edge(id, v);
+        }
+    }
+
+    /// Recomputes **all** edges incident to `id` (both directions) from
+    /// the geometry. Used on insert and move.
+    fn rewire(&mut self, id: NodeId) {
+        let cfg = self.configs[&id];
+        self.graph.clear_node_edges(id);
+        // Out-edges: nodes within our range and line of sight.
+        let mut out = Vec::new();
+        self.grid.for_each_within(&cfg.pos, cfg.range, |other, opos| {
+            if other != id.0 && !line_of_sight_blocked(&self.obstacles, &cfg.pos, &opos) {
+                out.push(NodeId(other));
+            }
+        });
+        for v in out {
+            self.graph.add_edge(id, v);
+        }
+        // In-edges: nodes whose own range covers us. Query with the
+        // global range bound, filter by each candidate's actual range
+        // and line of sight.
+        let mut inn = Vec::new();
+        self.grid
+            .for_each_within(&cfg.pos, self.max_range_bound, |other, opos| {
+                if other == id.0 {
+                    return;
+                }
+                let u = NodeId(other);
+                if opos.within(&cfg.pos, self.configs[&u].range)
+                    && !line_of_sight_blocked(&self.obstacles, &opos, &cfg.pos)
+                {
+                    inn.push(u);
+                }
+            });
+        for u in inn {
+            self.graph.add_edge(u, id);
+        }
+    }
+
+    /// The Fig 2 partition of the existing nodes around `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is absent.
+    pub fn partitions(&self, n: NodeId) -> JoinPartitions {
+        let out = self.graph.out_neighbors(n);
+        let inn = self.graph.in_neighbors(n);
+        let mut p = JoinPartitions::default();
+        // Both lists are sorted: single merge pass.
+        let (mut i, mut j) = (0, 0);
+        while i < inn.len() && j < out.len() {
+            match inn[i].cmp(&out[j]) {
+                std::cmp::Ordering::Less => {
+                    p.one.push(inn[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    p.three.push(out[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    p.two.push(inn[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        p.one.extend_from_slice(&inn[i..]);
+        p.three.extend_from_slice(&out[j..]);
+        p
+    }
+
+    /// The recode set of a join/move at `n`: `1n ∪ 2n ∪ {n}`, sorted.
+    pub fn recode_set(&self, n: NodeId) -> Vec<NodeId> {
+        let p = self.partitions(n);
+        let mut v = p.in_union();
+        match v.binary_search(&n) {
+            Ok(_) => {}
+            Err(i) => v.insert(i, n),
+        }
+        v
+    }
+
+    /// Whether the paper's *Minimal Connectivity* assumption holds for
+    /// `n`: some node hears `n`, and `n` hears some node.
+    pub fn minimally_connected(&self, n: NodeId) -> bool {
+        self.graph.contains(n)
+            && !self.graph.out_neighbors(n).is_empty()
+            && !self.graph.in_neighbors(n).is_empty()
+    }
+
+    /// The maximum color index currently assigned (0 when uncolored).
+    pub fn max_color_index(&self) -> u32 {
+        self.assignment.max_color_index()
+    }
+
+    /// Convenience for tests: set a node's color.
+    pub fn set_color(&mut self, n: NodeId, c: Color) {
+        assert!(self.graph.contains(n), "set_color: missing {n}");
+        self.assignment.set(n, c);
+    }
+
+    /// Rebuilds the full graph from scratch (O(n · neighborhood)) and
+    /// asserts it matches the incrementally maintained one. Debug aid
+    /// used by tests and failure injection.
+    pub fn check_topology(&self) {
+        let ids = self.node_ids();
+        for &u in &ids {
+            let cu = self.configs[&u];
+            for &v in &ids {
+                if u == v {
+                    continue;
+                }
+                let cv = self.configs[&v];
+                let expect = cu.pos.within(&cv.pos, cu.range)
+                    && !line_of_sight_blocked(&self.obstacles, &cu.pos, &cv.pos);
+                assert_eq!(
+                    self.graph.has_edge(u, v),
+                    expect,
+                    "topology drift on {u} → {v}"
+                );
+            }
+        }
+        self.graph.check_invariants();
+    }
+
+    /// Snapshot of the current assignment (for before/after diffs).
+    pub fn snapshot_assignment(&self) -> Assignment {
+        self.assignment.clone()
+    }
+
+    /// Access to the arena-independent spatial state, for rendering and
+    /// debugging: `(id, position, range, color)` tuples sorted by id.
+    pub fn describe(&self) -> Vec<(NodeId, Point, f64, Option<Color>)> {
+        let mut v: Vec<_> = self
+            .configs
+            .iter()
+            .map(|(&id, cfg)| (id, cfg.pos, cfg.range, self.assignment.get(id)))
+            .collect();
+        v.sort_by_key(|&(id, ..)| id);
+        v
+    }
+}
+
+/// Builds a network from explicit `(position, range)` pairs with ids
+/// `0..k`, leaving all nodes uncolored. Test/example helper.
+pub fn network_from_configs(cell_hint: f64, configs: &[(Point, f64)]) -> Network {
+    let mut net = Network::new(cell_hint);
+    for &(pos, range) in configs {
+        net.join(NodeConfig::new(pos, range));
+    }
+    net
+}
+
+/// The standard arena of the paper's experiments.
+pub fn paper_arena() -> Rect {
+    Rect::paper_arena()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn join_wires_edges_by_range_asymmetrically() {
+        let mut net = Network::new(5.0);
+        // a reaches b (range 10 ≥ dist 6); b does not reach a (range 4).
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 10.0));
+        let b = net.join(NodeConfig::new(Point::new(6.0, 0.0), 4.0));
+        assert!(net.graph().has_edge(a, b));
+        assert!(!net.graph().has_edge(b, a));
+        net.check_topology();
+    }
+
+    #[test]
+    fn boundary_distance_is_connected() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 5.0));
+        let b = net.join(NodeConfig::new(Point::new(5.0, 0.0), 1.0));
+        assert!(net.graph().has_edge(a, b), "d == r is connected");
+        assert!(!net.graph().has_edge(b, a));
+    }
+
+    #[test]
+    fn insert_existing_node_panics() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 5.0));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.insert_node(a, NodeConfig::new(Point::new(1.0, 1.0), 2.0));
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn remove_node_clears_everything() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 10.0));
+        let b = net.join(NodeConfig::new(Point::new(3.0, 0.0), 10.0));
+        net.set_color(b, Color::new(2));
+        net.remove_node(b);
+        assert!(!net.contains(b));
+        assert_eq!(net.node_count(), 1);
+        assert!(net.graph().out_neighbors(a).is_empty());
+        assert_eq!(net.assignment().get(b), None);
+        net.check_topology();
+    }
+
+    #[test]
+    fn move_node_rewires_both_directions() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 8.0));
+        let b = net.join(NodeConfig::new(Point::new(20.0, 0.0), 8.0));
+        assert_eq!(net.graph().edge_count(), 0);
+        net.move_node(b, Point::new(5.0, 0.0));
+        assert!(net.graph().has_edge(a, b));
+        assert!(net.graph().has_edge(b, a));
+        net.check_topology();
+        net.move_node(b, Point::new(50.0, 50.0));
+        assert_eq!(net.graph().edge_count(), 0);
+        net.check_topology();
+    }
+
+    #[test]
+    fn set_range_only_affects_out_edges() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 10.0));
+        let b = net.join(NodeConfig::new(Point::new(6.0, 0.0), 4.0));
+        assert!(net.graph().has_edge(a, b));
+        assert!(!net.graph().has_edge(b, a));
+        net.set_range(b, 7.0);
+        assert!(net.graph().has_edge(b, a), "b now reaches a");
+        assert!(net.graph().has_edge(a, b), "a → b untouched");
+        net.set_range(b, 1.0);
+        assert!(!net.graph().has_edge(b, a));
+        assert!(net.graph().has_edge(a, b));
+        net.check_topology();
+    }
+
+    #[test]
+    fn partitions_classify_neighbors() {
+        let mut net = Network::new(5.0);
+        // Geometry: n at origin with range 10.
+        //   one: hears us? no wait — `one` = nodes that REACH n only.
+        let nid = net.join(NodeConfig::new(Point::new(0.0, 0.0), 10.0));
+        // in-only: u reaches n (range 20 ≥ 15) but n (10) can't reach u.
+        let u = net.join(NodeConfig::new(Point::new(15.0, 0.0), 20.0));
+        // bidirectional: close and strong.
+        let v = net.join(NodeConfig::new(Point::new(5.0, 0.0), 9.0));
+        // out-only: n reaches w (8 ≤ 10) but w's range 2 is too small.
+        let w = net.join(NodeConfig::new(Point::new(0.0, 8.0), 2.0));
+        // unrelated far node.
+        let x = net.join(NodeConfig::new(Point::new(90.0, 90.0), 5.0));
+
+        let p = net.partitions(nid);
+        assert_eq!(p.one, vec![u]);
+        assert_eq!(p.two, vec![v]);
+        assert_eq!(p.three, vec![w]);
+        assert_eq!(p.in_union(), vec![u, v]);
+        assert_eq!(net.recode_set(nid), vec![nid, u, v]);
+        assert!(!p.one.contains(&x));
+    }
+
+    #[test]
+    fn minimal_connectivity_check() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 10.0));
+        assert!(!net.minimally_connected(a), "isolated");
+        let b = net.join(NodeConfig::new(Point::new(5.0, 0.0), 10.0));
+        assert!(net.minimally_connected(a));
+        assert!(net.minimally_connected(b));
+    }
+
+    #[test]
+    fn next_id_is_monotone_and_respects_explicit_inserts() {
+        let mut net = Network::new(5.0);
+        let a = net.next_id();
+        assert_eq!(a, n(0));
+        net.insert_node(n(10), NodeConfig::new(Point::new(0.0, 0.0), 1.0));
+        let b = net.next_id();
+        assert_eq!(b, n(11), "allocator must skip past explicit ids");
+    }
+
+    #[test]
+    fn validate_reflects_assignment() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 10.0));
+        let b = net.join(NodeConfig::new(Point::new(5.0, 0.0), 10.0));
+        assert!(net.validate().is_err(), "uncolored nodes are invalid");
+        net.set_color(a, Color::new(1));
+        net.set_color(b, Color::new(1));
+        assert!(net.validate().is_err(), "primary collision");
+        net.set_color(b, Color::new(2));
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn describe_lists_nodes_in_id_order() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(1.0, 2.0), 3.0));
+        let b = net.join(NodeConfig::new(Point::new(4.0, 5.0), 6.0));
+        net.set_color(a, Color::new(9));
+        let d = net.describe();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, a);
+        assert_eq!(d[0].3, Some(Color::new(9)));
+        assert_eq!(d[1].0, b);
+        assert_eq!(d[1].3, None);
+    }
+
+    #[test]
+    fn obstacles_block_links_and_only_remove_constraints() {
+        use minim_geom::Segment;
+        let mut net = Network::new(10.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 12.0));
+        let b = net.join(NodeConfig::new(Point::new(10.0, 0.0), 12.0));
+        net.set_color(a, Color::new(1));
+        net.set_color(b, Color::new(2));
+        assert!(net.graph().has_edge(a, b));
+        assert!(net.validate().is_ok());
+
+        // A wall between them severs both directions; the assignment
+        // stays valid (constraints only shrank) and nodes could now
+        // even share a code.
+        net.add_obstacle(Segment::new(Point::new(5.0, -20.0), Point::new(5.0, 20.0)));
+        assert!(!net.graph().has_edge(a, b));
+        assert!(!net.graph().has_edge(b, a));
+        assert!(net.validate().is_ok());
+        net.set_color(b, Color::new(1));
+        assert!(net.validate().is_ok(), "wall permits code reuse");
+        net.check_topology();
+
+        // Joins behind the wall only see their own side.
+        let c = net.join(NodeConfig::new(Point::new(2.0, 1.0), 12.0));
+        assert!(net.graph().has_edge(c, a));
+        assert!(!net.graph().has_edge(c, b), "wall blocks the new link too");
+        net.check_topology();
+
+        // Movement across the wall rewires correctly.
+        net.move_node(c, Point::new(8.0, 1.0));
+        assert!(!net.graph().has_edge(c, a));
+        assert!(net.graph().has_edge(c, b));
+        net.check_topology();
+    }
+
+    #[test]
+    fn obstacle_blocks_set_range_links_too() {
+        use minim_geom::Segment;
+        let mut net = Network::new(10.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 3.0));
+        let b = net.join(NodeConfig::new(Point::new(10.0, 0.0), 3.0));
+        net.add_obstacle(Segment::new(Point::new(5.0, -5.0), Point::new(5.0, 5.0)));
+        net.set_range(a, 20.0);
+        assert!(!net.graph().has_edge(a, b), "boost cannot punch through walls");
+        net.check_topology();
+        let _ = b;
+    }
+
+    #[test]
+    fn network_from_configs_builder() {
+        let net = network_from_configs(
+            5.0,
+            &[
+                (Point::new(0.0, 0.0), 6.0),
+                (Point::new(5.0, 0.0), 6.0),
+                (Point::new(10.0, 0.0), 6.0),
+            ],
+        );
+        assert_eq!(net.node_count(), 3);
+        // Chain topology 0 <-> 1 <-> 2 but not 0 <-> 2.
+        assert!(net.graph().has_edge(n(0), n(1)));
+        assert!(net.graph().has_edge(n(1), n(2)));
+        assert!(!net.graph().has_edge(n(0), n(2)));
+    }
+}

@@ -1,0 +1,382 @@
+//! Mobility models beyond §5.3's random-displacement rounds.
+//!
+//! The paper's movement experiment teleports nodes by uniform random
+//! displacements. Real ad-hoc deployments (the §1 scenarios: conference
+//! floors, battlefields, satellite constellations) move with temporal
+//! correlation, which stresses `RecodeOnMove` differently: many small
+//! correlated hops instead of rare large ones. Two standard models are
+//! provided:
+//!
+//! * [`RandomWaypoint`] — each node picks a destination uniformly in
+//!   the arena and a speed, walks toward it tick by tick, then picks a
+//!   new one. The de-facto standard MANET mobility model.
+//! * [`GroupMobility`] — reference-point group mobility (RPGM): each
+//!   group's virtual reference point does a random waypoint walk;
+//!   members hold formation offsets around it with bounded jitter.
+//!
+//! Both are deterministic given an `Rng` and emit ordinary
+//! [`Event::Move`]s, so every strategy and experiment consumes them
+//! unchanged.
+
+use crate::event::Event;
+use crate::Network;
+use minim_geom::{sample, Point, Rect};
+use minim_graph::NodeId;
+use rand::Rng;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Waypoint {
+    destination: Point,
+    speed: f64,
+}
+
+/// Per-node random-waypoint walker.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    arena: Rect,
+    min_speed: f64,
+    max_speed: f64,
+    state: HashMap<NodeId, Waypoint>,
+}
+
+impl RandomWaypoint {
+    /// Creates the model. Speeds are drawn uniformly per leg.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_speed <= max_speed`.
+    pub fn new(arena: Rect, min_speed: f64, max_speed: f64) -> Self {
+        assert!(
+            0.0 < min_speed && min_speed <= max_speed,
+            "need 0 < min_speed <= max_speed, got {min_speed}..{max_speed}"
+        );
+        RandomWaypoint {
+            arena,
+            min_speed,
+            max_speed,
+            state: HashMap::new(),
+        }
+    }
+
+    fn fresh_leg<R: Rng + ?Sized>(&self, rng: &mut R) -> Waypoint {
+        Waypoint {
+            destination: sample::uniform_point(rng, &self.arena),
+            speed: rng.gen_range(self.min_speed..=self.max_speed),
+        }
+    }
+
+    /// Advances every present node by `dt` time units, returning one
+    /// `Move` per node (in id order). Nodes appearing for the first
+    /// time get a fresh leg; nodes that left the network are forgotten.
+    pub fn tick<R: Rng + ?Sized>(&mut self, net: &Network, dt: f64, rng: &mut R) -> Vec<Event> {
+        assert!(dt > 0.0, "dt must be positive");
+        let ids = net.node_ids();
+        self.state.retain(|id, _| net.contains(*id));
+        let mut events = Vec::with_capacity(ids.len());
+        for id in ids {
+            let here = net.config(id).expect("listed node exists").pos;
+            let mut leg = match self.state.get(&id) {
+                Some(&l) => l,
+                None => self.fresh_leg(rng),
+            };
+            let mut budget = leg.speed * dt;
+            let mut pos = here;
+            // Walk legs until the tick budget is spent (a node can
+            // reach its waypoint mid-tick and start the next leg).
+            loop {
+                let remaining = pos.dist(&leg.destination);
+                if remaining <= budget {
+                    pos = leg.destination;
+                    budget -= remaining;
+                    leg = self.fresh_leg(rng);
+                    if budget <= 1e-12 {
+                        break;
+                    }
+                } else {
+                    let frac = budget / remaining;
+                    pos = Point::new(
+                        pos.x + (leg.destination.x - pos.x) * frac,
+                        pos.y + (leg.destination.y - pos.y) * frac,
+                    );
+                    break;
+                }
+            }
+            self.state.insert(id, leg);
+            events.push(Event::Move {
+                node: id,
+                to: self.arena.clamp(pos),
+            });
+        }
+        events
+    }
+}
+
+/// One mobility group: a virtual reference point plus member offsets.
+#[derive(Debug, Clone)]
+struct Group {
+    members: Vec<(NodeId, Point)>, // (node, formation offset)
+    reference: Point,
+    leg: Waypoint,
+}
+
+/// Reference-point group mobility (RPGM).
+#[derive(Debug, Clone)]
+pub struct GroupMobility {
+    arena: Rect,
+    speed: f64,
+    jitter: f64,
+    groups: Vec<Group>,
+}
+
+impl GroupMobility {
+    /// Creates the model from explicit group memberships. Each member's
+    /// formation offset is its current position relative to the group
+    /// centroid; per tick it tracks `reference + offset` with uniform
+    /// jitter of at most `jitter`.
+    ///
+    /// # Panics
+    /// Panics on empty groups, non-positive speed, or negative jitter.
+    pub fn new<R: Rng + ?Sized>(
+        net: &Network,
+        arena: Rect,
+        groups: &[Vec<NodeId>],
+        speed: f64,
+        jitter: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        assert!(jitter >= 0.0, "jitter must be non-negative");
+        let built = groups
+            .iter()
+            .map(|members| {
+                assert!(!members.is_empty(), "empty mobility group");
+                let pts: Vec<Point> = members
+                    .iter()
+                    .map(|&m| net.config(m).expect("group member must exist").pos)
+                    .collect();
+                let cx = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
+                let cy = pts.iter().map(|p| p.y).sum::<f64>() / pts.len() as f64;
+                let reference = Point::new(cx, cy);
+                Group {
+                    members: members
+                        .iter()
+                        .zip(&pts)
+                        .map(|(&m, p)| (m, Point::new(p.x - cx, p.y - cy)))
+                        .collect(),
+                    reference,
+                    leg: Waypoint {
+                        destination: sample::uniform_point(rng, &arena),
+                        speed,
+                    },
+                }
+            })
+            .collect();
+        GroupMobility {
+            arena,
+            speed,
+            jitter,
+            groups: built,
+        }
+    }
+
+    /// Advances every group's reference point by `dt` and emits one
+    /// `Move` per surviving member toward its formation slot.
+    pub fn tick<R: Rng + ?Sized>(&mut self, net: &Network, dt: f64, rng: &mut R) -> Vec<Event> {
+        assert!(dt > 0.0, "dt must be positive");
+        let mut events = Vec::new();
+        for group in &mut self.groups {
+            // Move the reference point along its leg.
+            let budget = group.leg.speed * dt;
+            let remaining = group.reference.dist(&group.leg.destination);
+            if remaining <= budget {
+                group.reference = group.leg.destination;
+                group.leg = Waypoint {
+                    destination: sample::uniform_point(rng, &self.arena),
+                    speed: self.speed,
+                };
+            } else {
+                let frac = budget / remaining;
+                group.reference = Point::new(
+                    group.reference.x + (group.leg.destination.x - group.reference.x) * frac,
+                    group.reference.y + (group.leg.destination.y - group.reference.y) * frac,
+                );
+            }
+            for &(member, offset) in &group.members {
+                if !net.contains(member) {
+                    continue;
+                }
+                let jx = if self.jitter > 0.0 {
+                    rng.gen_range(-self.jitter..=self.jitter)
+                } else {
+                    0.0
+                };
+                let jy = if self.jitter > 0.0 {
+                    rng.gen_range(-self.jitter..=self.jitter)
+                } else {
+                    0.0
+                };
+                let slot = Point::new(
+                    group.reference.x + offset.x + jx,
+                    group.reference.y + offset.y + jy,
+                );
+                events.push(Event::Move {
+                    node: member,
+                    to: self.arena.clamp(slot),
+                });
+            }
+        }
+        events.sort_by_key(|e| match e {
+            Event::Move { node, .. } => *node,
+            _ => unreachable!("group mobility emits only moves"),
+        });
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::apply_topology;
+    use crate::workload::JoinWorkload;
+    use crate::NodeConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn populated(n: usize, seed: u64) -> (Network, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new(25.0);
+        for e in JoinWorkload::paper(n).generate(&mut rng) {
+            apply_topology(&mut net, &e);
+        }
+        (net, rng)
+    }
+
+    #[test]
+    fn waypoint_moves_are_speed_bounded_and_in_arena() {
+        let (mut net, mut rng) = populated(20, 1);
+        let mut model = RandomWaypoint::new(Rect::paper_arena(), 1.0, 5.0);
+        for _ in 0..50 {
+            let events = model.tick(&net, 2.0, &mut rng);
+            assert_eq!(events.len(), 20);
+            for e in &events {
+                let Event::Move { node, to } = e else { panic!() };
+                let from = net.config(*node).unwrap().pos;
+                // Max travel = max_speed * dt (+ slack for multi-leg
+                // corners, which can only shorten net displacement).
+                assert!(from.dist(to) <= 5.0 * 2.0 + 1e-9);
+                assert!(Rect::paper_arena().contains(to));
+                apply_topology(&mut net, e);
+            }
+        }
+    }
+
+    #[test]
+    fn waypoint_walker_makes_progress() {
+        let (mut net, mut rng) = populated(5, 2);
+        let mut model = RandomWaypoint::new(Rect::paper_arena(), 2.0, 2.0);
+        // Total path length over many ticks ~ speed * time.
+        let mut travelled = 0.0;
+        for _ in 0..100 {
+            for e in model.tick(&net, 1.0, &mut rng) {
+                let Event::Move { node, to } = e else { panic!() };
+                travelled += net.config(node).unwrap().pos.dist(&to);
+                apply_topology(&mut net, &Event::Move { node, to });
+            }
+        }
+        // 5 nodes × 100 ticks × speed 2 = 1000 expected; corners lose a
+        // little. Require at least half.
+        assert!(travelled > 500.0, "travelled only {travelled}");
+    }
+
+    #[test]
+    fn waypoint_forgets_departed_nodes() {
+        let (mut net, mut rng) = populated(6, 3);
+        let mut model = RandomWaypoint::new(Rect::paper_arena(), 1.0, 2.0);
+        model.tick(&net, 1.0, &mut rng);
+        let victim = net.node_ids()[0];
+        net.remove_node(victim);
+        let events = model.tick(&net, 1.0, &mut rng);
+        assert_eq!(events.len(), 5);
+        assert!(events.iter().all(|e| match e {
+            Event::Move { node, .. } => *node != victim,
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn group_mobility_keeps_formation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Network::new(25.0);
+        // Two tight squads far apart.
+        let mut squads = Vec::new();
+        for (gx, gy) in [(20.0, 20.0), (80.0, 80.0)] {
+            let mut squad = Vec::new();
+            for k in 0..4 {
+                let id = net.join(NodeConfig::new(
+                    Point::new(gx + (k % 2) as f64 * 3.0, gy + (k / 2) as f64 * 3.0),
+                    10.0,
+                ));
+                squad.push(id);
+            }
+            squads.push(squad);
+        }
+        let mut model = GroupMobility::new(&net, Rect::paper_arena(), &squads, 4.0, 0.5, &mut rng);
+        for _ in 0..60 {
+            for e in model.tick(&net, 1.0, &mut rng) {
+                apply_topology(&mut net, &e);
+            }
+            net.check_topology();
+            // Formation: within each squad, pairwise distances stay
+            // near the original 3–4.3 spread (+ 2×jitter slack).
+            for squad in &squads {
+                for (i, &a) in squad.iter().enumerate() {
+                    for &b in &squad[i + 1..] {
+                        let d = net
+                            .config(a)
+                            .unwrap()
+                            .pos
+                            .dist(&net.config(b).unwrap().pos);
+                        assert!(d <= 4.3 + 2.0, "squad drifted apart: {d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_reference_points_travel() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Network::new(25.0);
+        let squad: Vec<NodeId> = (0..3)
+            .map(|k| net.join(NodeConfig::new(Point::new(10.0 + k as f64, 10.0), 8.0)))
+            .collect();
+        let start = net.config(squad[0]).unwrap().pos;
+        let mut model =
+            GroupMobility::new(&net, Rect::paper_arena(), std::slice::from_ref(&squad), 5.0, 0.0, &mut rng);
+        for _ in 0..40 {
+            for e in model.tick(&net, 1.0, &mut rng) {
+                apply_topology(&mut net, &e);
+            }
+        }
+        let end = net.config(squad[0]).unwrap().pos;
+        assert!(start.dist(&end) > 5.0, "group never went anywhere");
+    }
+
+    #[test]
+    #[should_panic(expected = "min_speed")]
+    fn waypoint_rejects_bad_speeds() {
+        let _ = RandomWaypoint::new(Rect::paper_arena(), 0.0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (net, _) = populated(10, 6);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut model = RandomWaypoint::new(Rect::paper_arena(), 1.0, 3.0);
+            model.tick(&net, 1.5, &mut rng)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

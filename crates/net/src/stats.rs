@@ -1,0 +1,159 @@
+//! Network statistics: the structural quantities the paper's analysis
+//! leans on (degree `k`, density, connectivity) plus assignment-level
+//! summaries, for experiment logging and the examples.
+
+use crate::Network;
+use minim_graph::{conflict, hops};
+
+/// A structural and assignment snapshot of a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed links.
+    pub edges: usize,
+    /// Maximum of in-/out-degree over all nodes (the paper's `k`).
+    pub max_degree: usize,
+    /// Mean undirected degree.
+    pub mean_degree: f64,
+    /// Fraction of ordered node pairs that are linked.
+    pub density: f64,
+    /// Whether the underlying undirected graph is connected.
+    pub connected: bool,
+    /// Fraction of links that are one-way (power asymmetry).
+    pub asymmetric_fraction: f64,
+    /// Maximum color index in use (0 when uncolored).
+    pub max_color: u32,
+    /// Number of distinct colors in use.
+    pub distinct_colors: usize,
+    /// Greedy clique lower bound on the conflict graph — no correct
+    /// assignment can use fewer colors than this.
+    pub conflict_clique_lb: usize,
+}
+
+/// Computes the snapshot. `O(n · neighborhood)` plus one conflict-graph
+/// build; intended for logging, not hot loops.
+pub fn network_stats(net: &Network) -> NetworkStats {
+    let g = net.graph();
+    let n = g.node_count();
+    let edges = g.edge_count();
+    let mut asym = 0usize;
+    for (u, v) in g.edges() {
+        if !g.has_edge(v, u) {
+            asym += 1;
+        }
+    }
+    let mean_degree = if n == 0 {
+        0.0
+    } else {
+        g.nodes()
+            .map(|v| g.undirected_neighbors(v).len())
+            .sum::<usize>() as f64
+            / n as f64
+    };
+    let density = if n <= 1 {
+        0.0
+    } else {
+        edges as f64 / (n * (n - 1)) as f64
+    };
+    let (ug, _) = conflict::conflict_graph(g);
+    NetworkStats {
+        nodes: n,
+        edges,
+        max_degree: g.max_degree(),
+        mean_degree,
+        density,
+        connected: hops::is_connected(g),
+        asymmetric_fraction: if edges == 0 {
+            0.0
+        } else {
+            asym as f64 / edges as f64
+        },
+        max_color: net.max_color_index(),
+        distinct_colors: net.assignment().distinct_colors(),
+        conflict_clique_lb: ug.greedy_clique_lower_bound(),
+    }
+}
+
+impl std::fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} links ({:.0}% one-way), k={}, mean degree {:.1}, \
+             density {:.3}, {}connected; {} colors (max index {}, clique lb {})",
+            self.nodes,
+            self.edges,
+            self.asymmetric_fraction * 100.0,
+            self.max_degree,
+            self.mean_degree,
+            self.density,
+            if self.connected { "" } else { "dis" },
+            self.distinct_colors,
+            self.max_color,
+            self.conflict_clique_lb,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{network_from_configs, NodeConfig};
+    use minim_geom::Point;
+    use minim_graph::Color;
+
+    #[test]
+    fn stats_on_empty_network() {
+        let net = Network::new(10.0);
+        let s = network_stats(&net);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.density, 0.0);
+        assert!(s.connected, "empty graph counts as connected");
+        assert_eq!(s.max_color, 0);
+    }
+
+    #[test]
+    fn stats_on_asymmetric_pair() {
+        let mut net = Network::new(10.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 10.0));
+        let b = net.join(NodeConfig::new(Point::new(6.0, 0.0), 3.0));
+        net.set_color(a, Color::new(1));
+        net.set_color(b, Color::new(2));
+        let s = network_stats(&net);
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.asymmetric_fraction, 1.0);
+        assert!(s.connected);
+        assert_eq!(s.distinct_colors, 2);
+        assert_eq!(s.max_color, 2);
+        assert!(s.conflict_clique_lb >= 2);
+        assert_eq!(s.density, 0.5);
+    }
+
+    #[test]
+    fn stats_on_chain() {
+        let net = network_from_configs(
+            10.0,
+            &[
+                (Point::new(0.0, 0.0), 7.0),
+                (Point::new(6.0, 0.0), 7.0),
+                (Point::new(12.0, 0.0), 7.0),
+            ],
+        );
+        let s = network_stats(&net);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 4, "two bidirectional links");
+        assert_eq!(s.asymmetric_fraction, 0.0);
+        assert_eq!(s.max_degree, 2);
+        assert!(s.connected);
+        assert!((s.mean_degree - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders() {
+        let net = Network::new(10.0);
+        let text = network_stats(&net).to_string();
+        assert!(text.contains("0 nodes"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Random workload generators matching §5 of the paper.
+//!
+//! * [`JoinWorkload`] — §5.1: `N` nodes join consecutively, positions
+//!   uniform in the arena, ranges uniform in `(minr, maxr)`.
+//! * [`PowerRaiseWorkload`] — §5.2: half the nodes (chosen at random)
+//!   raise their range by a factor `raisefactor`.
+//! * [`MovementWorkload`] — §5.3: `RoundNo` rounds, each moving every
+//!   node once, in a random direction by a displacement uniform in
+//!   `[0, maxdisp]`.
+//!
+//! Generators are deterministic given an `Rng`, and produce concrete
+//! event lists against the current network state.
+
+use crate::event::Event;
+use crate::{Network, NodeConfig};
+use minim_geom::{sample, Rect};
+use minim_graph::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// §5.1 join workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinWorkload {
+    /// Number of consecutive joins (`N`).
+    pub count: usize,
+    /// Lower range bound (`minr`), paper default 20.5.
+    pub minr: f64,
+    /// Upper range bound (`maxr`), paper default 30.5.
+    pub maxr: f64,
+    /// Deployment arena, paper default `[0,100]²`.
+    pub arena: Rect,
+}
+
+impl JoinWorkload {
+    /// The paper's default join workload with `count` nodes.
+    pub fn paper(count: usize) -> Self {
+        JoinWorkload {
+            count,
+            minr: 20.5,
+            maxr: 30.5,
+            arena: Rect::paper_arena(),
+        }
+    }
+
+    /// Variant used by the Fig 10(d–f) sweep: ranges uniform in an
+    /// interval of width 5 centered on `avg_r`.
+    pub fn with_avg_range(count: usize, avg_r: f64) -> Self {
+        JoinWorkload {
+            count,
+            minr: (avg_r - 2.5).max(0.0),
+            maxr: avg_r + 2.5,
+            arena: Rect::paper_arena(),
+        }
+    }
+
+    /// Generates the join events.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Event> {
+        (0..self.count)
+            .map(|_| Event::Join {
+                cfg: NodeConfig::new(
+                    sample::uniform_point(rng, &self.arena),
+                    sample::uniform_range(rng, self.minr, self.maxr),
+                ),
+            })
+            .collect()
+    }
+}
+
+/// §5.2 power-raise workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerRaiseWorkload {
+    /// Fraction of nodes whose range is raised (paper: 0.5).
+    pub fraction: f64,
+    /// Multiplicative raise factor (`raisefactor`, swept 1..6).
+    pub raisefactor: f64,
+}
+
+impl PowerRaiseWorkload {
+    /// The paper's configuration: half the nodes, given factor.
+    pub fn paper(raisefactor: f64) -> Self {
+        PowerRaiseWorkload {
+            fraction: 0.5,
+            raisefactor,
+        }
+    }
+
+    /// Picks the victims from the current network and emits `SetRange`
+    /// events raising each one's range by `raisefactor`.
+    pub fn generate<R: Rng + ?Sized>(&self, net: &Network, rng: &mut R) -> Vec<Event> {
+        assert!(
+            (0.0..=1.0).contains(&self.fraction),
+            "fraction must be in [0,1], got {}",
+            self.fraction
+        );
+        assert!(
+            self.raisefactor >= 1.0,
+            "raisefactor must be >= 1 (this is a raise), got {}",
+            self.raisefactor
+        );
+        let mut ids: Vec<NodeId> = net.node_ids();
+        ids.shuffle(rng);
+        let k = ((ids.len() as f64) * self.fraction).round() as usize;
+        ids.truncate(k);
+        ids.sort_unstable(); // deterministic application order
+        ids.into_iter()
+            .map(|id| {
+                let cur = net.config(id).expect("listed node exists").range;
+                Event::SetRange {
+                    node: id,
+                    range: cur * self.raisefactor,
+                }
+            })
+            .collect()
+    }
+}
+
+/// §5.3 movement workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MovementWorkload {
+    /// Maximum displacement per move (`maxdisp`).
+    pub maxdisp: f64,
+    /// Number of rounds (`RoundNo`); each round moves every node once.
+    pub rounds: usize,
+    /// Deployment arena (moves are clamped to it).
+    pub arena: Rect,
+}
+
+impl MovementWorkload {
+    /// The paper's configuration.
+    pub fn paper(maxdisp: f64, rounds: usize) -> Self {
+        MovementWorkload {
+            maxdisp,
+            rounds,
+            arena: Rect::paper_arena(),
+        }
+    }
+
+    /// Generates **one round** of moves against the current network
+    /// state: every present node moves once, in ascending id order
+    /// (the paper moves them "one by one").
+    pub fn generate_round<R: Rng + ?Sized>(&self, net: &Network, rng: &mut R) -> Vec<Event> {
+        net.node_ids()
+            .into_iter()
+            .map(|id| {
+                let from = net.config(id).expect("listed node exists").pos;
+                Event::Move {
+                    node: id,
+                    to: sample::random_move(rng, from, self.maxdisp, &self.arena),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A sustained arrival/departure churn workload: each step is a join
+/// with probability `join_prob` (position/range as in [`JoinWorkload`])
+/// or otherwise the departure of a uniformly random present node. The
+/// population hovers around `join_prob / (1 - join_prob)` times the
+/// departure pressure; used by the long-horizon stability studies.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnWorkload {
+    /// Probability that a step is a join (vs a leave).
+    pub join_prob: f64,
+    /// Number of steps to generate.
+    pub steps: usize,
+    /// Range bounds for joiners.
+    pub minr: f64,
+    /// Upper range bound.
+    pub maxr: f64,
+    /// Deployment arena.
+    pub arena: Rect,
+}
+
+impl ChurnWorkload {
+    /// A churn workload with the paper's range parameters.
+    pub fn paper(steps: usize, join_prob: f64) -> Self {
+        ChurnWorkload {
+            join_prob,
+            steps,
+            minr: 20.5,
+            maxr: 30.5,
+            arena: Rect::paper_arena(),
+        }
+    }
+
+    /// Generates the next step against the current network state (the
+    /// leave target depends on who is present, so churn is generated
+    /// step by step).
+    pub fn next_event<R: Rng + ?Sized>(&self, net: &Network, rng: &mut R) -> Event {
+        assert!(
+            (0.0..=1.0).contains(&self.join_prob),
+            "join_prob must be a probability"
+        );
+        let ids = net.node_ids();
+        if ids.is_empty() || rng.gen_bool(self.join_prob) {
+            Event::Join {
+                cfg: NodeConfig::new(
+                    sample::uniform_point(rng, &self.arena),
+                    sample::uniform_range(rng, self.minr, self.maxr),
+                ),
+            }
+        } else {
+            Event::Leave {
+                node: ids[rng.gen_range(0..ids.len())],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn join_workload_respects_parameters() {
+        let w = JoinWorkload::paper(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let events = w.generate(&mut rng);
+        assert_eq!(events.len(), 50);
+        for e in &events {
+            let Event::Join { cfg } = e else {
+                panic!("non-join event in join workload");
+            };
+            assert!(w.arena.contains(&cfg.pos));
+            assert!((w.minr..w.maxr).contains(&cfg.range));
+        }
+    }
+
+    #[test]
+    fn with_avg_range_centers_interval() {
+        let w = JoinWorkload::with_avg_range(10, 40.0);
+        assert_eq!(w.minr, 37.5);
+        assert_eq!(w.maxr, 42.5);
+        // Clamped at zero for small averages.
+        let w = JoinWorkload::with_avg_range(10, 1.0);
+        assert_eq!(w.minr, 0.0);
+    }
+
+    #[test]
+    fn power_raise_targets_half_the_nodes() {
+        let mut net = Network::new(10.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for e in JoinWorkload::paper(20).generate(&mut rng) {
+            crate::event::apply_topology(&mut net, &e);
+        }
+        let w = PowerRaiseWorkload::paper(3.0);
+        let events = w.generate(&net, &mut rng);
+        assert_eq!(events.len(), 10);
+        for e in &events {
+            let Event::SetRange { node, range } = e else {
+                panic!("non-range event");
+            };
+            let cur = net.config(*node).unwrap().range;
+            assert!((range / cur - 3.0).abs() < 1e-9);
+        }
+        // Events are sorted by node id (deterministic application).
+        let ids: Vec<NodeId> = events
+            .iter()
+            .map(|e| match e {
+                Event::SetRange { node, .. } => *node,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "raisefactor")]
+    fn power_raise_below_one_panics() {
+        let net = Network::new(10.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = PowerRaiseWorkload {
+            fraction: 0.5,
+            raisefactor: 0.5,
+        }
+        .generate(&net, &mut rng);
+    }
+
+    #[test]
+    fn movement_round_moves_every_node_within_bounds() {
+        let mut net = Network::new(10.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for e in JoinWorkload::paper(15).generate(&mut rng) {
+            crate::event::apply_topology(&mut net, &e);
+        }
+        let w = MovementWorkload::paper(40.0, 1);
+        let events = w.generate_round(&net, &mut rng);
+        assert_eq!(events.len(), 15);
+        for e in &events {
+            let Event::Move { node, to } = e else {
+                panic!("non-move event");
+            };
+            assert!(w.arena.contains(to));
+            let from = net.config(*node).unwrap().pos;
+            assert!(from.dist(to) <= 40.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn churn_keeps_population_positive_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = Network::new(25.0);
+        let w = ChurnWorkload::paper(400, 0.5);
+        let mut joins = 0usize;
+        let mut leaves = 0usize;
+        for _ in 0..w.steps {
+            let e = w.next_event(&net, &mut rng);
+            match &e {
+                Event::Join { .. } => joins += 1,
+                Event::Leave { .. } => leaves += 1,
+                _ => panic!("churn emits only joins/leaves"),
+            }
+            crate::event::apply_topology(&mut net, &e);
+        }
+        assert_eq!(joins + leaves, 400);
+        // Balanced churn keeps both kinds frequent.
+        assert!(joins > 100 && leaves > 100);
+        // Leaves always target present nodes, so this never panicked
+        // and the population is consistent.
+        assert_eq!(net.node_count(), joins - leaves);
+    }
+
+    #[test]
+    fn churn_with_certain_join_only_grows() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = Network::new(25.0);
+        let w = ChurnWorkload::paper(30, 1.0);
+        for _ in 0..w.steps {
+            let e = w.next_event(&net, &mut rng);
+            assert!(matches!(e, Event::Join { .. }));
+            crate::event::apply_topology(&mut net, &e);
+        }
+        assert_eq!(net.node_count(), 30);
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let w = JoinWorkload::paper(10);
+        let a = w.generate(&mut StdRng::seed_from_u64(7));
+        let b = w.generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = w.generate(&mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+}

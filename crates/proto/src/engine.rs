@@ -1,0 +1,181 @@
+//! Synchronous-round message engine.
+//!
+//! Messages travel along the *underlying undirected* radio adjacency
+//! (a data link exists when at least one direction can transmit; \[3\]
+//! assumes symmetric links, and acknowledgments in the asymmetric case
+//! are routed over short reverse paths — we charge one message either
+//! way). Delivery is synchronous: everything sent in round `r` is
+//! readable in round `r + 1`. The engine is deliberately simple — the
+//! protocols in [`crate::join`] drive it explicitly, which keeps the
+//! message/round accounting transparent and auditable.
+
+use minim_graph::{Color, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// Protocol payloads exchanged by the join protocols.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Joiner announces itself and asks 1-hop neighbors for state.
+    JoinQuery,
+    /// A neighbor reports its color, its constraint list, and who
+    /// transmits into it (all from its standing 1/2-hop cache, which
+    /// \[3\] assumes is maintained by beaconing).
+    ConstraintReport {
+        /// The reporter's current color (None while reselecting).
+        color: Option<Color>,
+        /// `(partner, partner's color)` for each of the reporter's
+        /// CA1/CA2 conflict partners — the joiner filters these to
+        /// partners outside the recode set (Fig 3 step 1).
+        constraints: Vec<(NodeId, Color)>,
+        /// `(transmitter, color)` for each of the reporter's
+        /// in-neighbors — the joiner derives its own CA2 constraints
+        /// from these (Fig 3 step 2).
+        in_neighbors: Vec<(NodeId, Color)>,
+    },
+    /// The joiner (Minim) instructs a node to adopt a new color.
+    Recolor(Color),
+    /// CP: the joiner tells a duplicated node to reselect.
+    Reselect,
+    /// CP: a node announces its newly selected color to its 2-hop
+    /// vicinity (relayed by 1-hop neighbors). Also used by the
+    /// power-increase protocol to publish the initiator's new color.
+    ColorUpdate(Color),
+    /// A node announces it is leaving (or departing a position);
+    /// receivers drop their cache entries. No recoding follows (§4.3).
+    Leaving,
+    /// A node announces a range decrease; receivers refresh caches.
+    RangeChanged,
+    /// Acknowledgment (commit).
+    Ack,
+}
+
+/// A point-to-point message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Contents.
+    pub payload: Payload,
+}
+
+/// Per-protocol cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtocolMetrics {
+    /// Total point-to-point messages sent (relays counted).
+    pub messages: usize,
+    /// Synchronous rounds elapsed.
+    pub rounds: usize,
+}
+
+/// The message engine: mailboxes plus a next-round buffer.
+#[derive(Debug, Default)]
+pub struct Engine {
+    inboxes: HashMap<NodeId, VecDeque<Message>>,
+    in_flight: Vec<Message>,
+    metrics: ProtocolMetrics,
+}
+
+impl Engine {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Queues `msg` for delivery at the next round tick.
+    pub fn send(&mut self, msg: Message) {
+        self.metrics.messages += 1;
+        self.in_flight.push(msg);
+    }
+
+    /// Convenience: build and send.
+    pub fn send_to(&mut self, from: NodeId, to: NodeId, payload: Payload) {
+        self.send(Message { from, to, payload });
+    }
+
+    /// Advances one synchronous round: all in-flight messages land in
+    /// their receivers' mailboxes.
+    pub fn tick(&mut self) {
+        self.metrics.rounds += 1;
+        for msg in self.in_flight.drain(..) {
+            self.inboxes.entry(msg.to).or_default().push_back(msg);
+        }
+    }
+
+    /// Drains the mailbox of `node` (messages delivered by previous
+    /// ticks), in send order.
+    pub fn drain(&mut self, node: NodeId) -> Vec<Message> {
+        self.inboxes
+            .get_mut(&node)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether any message is queued or in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight.is_empty() && self.inboxes.values().all(VecDeque::is_empty)
+    }
+
+    /// The running cost counters.
+    pub fn metrics(&self) -> ProtocolMetrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn messages_deliver_on_next_tick_only() {
+        let mut e = Engine::new();
+        e.send_to(n(1), n(2), Payload::JoinQuery);
+        assert!(e.drain(n(2)).is_empty(), "not yet delivered");
+        e.tick();
+        let got = e.drain(n(2));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].from, n(1));
+        assert_eq!(got[0].payload, Payload::JoinQuery);
+        assert!(e.is_quiescent());
+    }
+
+    #[test]
+    fn metrics_count_messages_and_rounds() {
+        let mut e = Engine::new();
+        e.send_to(n(1), n(2), Payload::Ack);
+        e.send_to(n(1), n(3), Payload::Ack);
+        e.tick();
+        e.send_to(n(2), n(1), Payload::Ack);
+        e.tick();
+        assert_eq!(e.metrics(), ProtocolMetrics { messages: 3, rounds: 2 });
+    }
+
+    #[test]
+    fn drain_preserves_send_order() {
+        let mut e = Engine::new();
+        e.send_to(n(1), n(9), Payload::Recolor(Color::new(1)));
+        e.send_to(n(2), n(9), Payload::Recolor(Color::new(2)));
+        e.send_to(n(3), n(9), Payload::Recolor(Color::new(3)));
+        e.tick();
+        let got = e.drain(n(9));
+        let froms: Vec<NodeId> = got.iter().map(|m| m.from).collect();
+        assert_eq!(froms, vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn quiescence_tracks_in_flight_and_mailboxes() {
+        let mut e = Engine::new();
+        assert!(e.is_quiescent());
+        e.send_to(n(1), n(2), Payload::Ack);
+        assert!(!e.is_quiescent(), "in flight");
+        e.tick();
+        assert!(!e.is_quiescent(), "in mailbox");
+        e.drain(n(2));
+        assert!(e.is_quiescent());
+    }
+}

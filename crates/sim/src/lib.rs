@@ -1,0 +1,31 @@
+//! Experiment harness — §5 of the paper.
+//!
+//! The paper evaluates Minim against CP and BBB on randomly generated
+//! ad-hoc networks (nodes uniform in `[0,100]²`, ranges uniform in
+//! `(minr, maxr)`), averaging every plotted point over **100 runs**.
+//! This crate reproduces that pipeline:
+//!
+//! * [`metrics`] — sample statistics, series, and renderable tables
+//!   (aligned text + CSV).
+//! * [`runner`] — applies generated event sequences to a strategy and
+//!   accumulates the two §5 metrics: *maximum color index assigned*
+//!   and *total number of recodings*.
+//! * [`par`] — a crossbeam-based worker pool mapping replicate jobs to
+//!   results; per-replicate seeds are derived with
+//!   [`minim_geom::sample::child_seed`], so parallel and serial
+//!   execution produce bit-identical tables.
+//! * [`experiments`] — one function per figure: Fig 10 (node join),
+//!   Fig 11 (power increase), Fig 12 (movement), plus the ablation and
+//!   extension studies promised in DESIGN.md.
+
+pub mod compare;
+pub mod experiments;
+pub mod metrics;
+pub mod par;
+pub mod plot;
+pub mod runner;
+
+pub use compare::{paired_compare, PairedComparison};
+pub use experiments::ExperimentConfig;
+pub use metrics::{Stats, Table};
+pub use plot::ascii_plot;

@@ -1,0 +1,219 @@
+//! Sample statistics and renderable result tables.
+
+use std::fmt::Write as _;
+
+/// Summary statistics over replicate samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Computes statistics over `samples`. Empty input yields zeros.
+    pub fn from_samples(samples: &[f64]) -> Stats {
+        let n = samples.len();
+        if n == 0 {
+            return Stats {
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                n: 0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Stats {
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+            n,
+        }
+    }
+}
+
+/// One row of a result table: the sweep value plus one [`Stats`] per
+/// series.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Sweep parameter value (N, avg range, raisefactor, …).
+    pub x: f64,
+    /// Per-series statistics, aligned with [`Table::series`].
+    pub values: Vec<Stats>,
+}
+
+/// A figure's data: a parameter sweep with one series per strategy.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Figure identifier, e.g. `"Fig 10(a) max color index vs N"`.
+    pub title: String,
+    /// Name of the sweep parameter, e.g. `"N"`.
+    pub x_label: String,
+    /// Series names in column order, e.g. `["Minim", "CP", "BBB"]`.
+    pub series: Vec<String>,
+    /// Rows in sweep order.
+    pub rows: Vec<TableRow>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        series: Vec<String>,
+    ) -> Table {
+        Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            series,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the value count does not match the series count.
+    pub fn push_row(&mut self, x: f64, values: Vec<Stats>) {
+        assert_eq!(
+            values.len(),
+            self.series.len(),
+            "row width must match series count"
+        );
+        self.rows.push(TableRow { x, values });
+    }
+
+    /// The series' mean values as `(x, mean)` pairs — what the paper
+    /// plots.
+    pub fn series_means(&self, series_idx: usize) -> Vec<(f64, f64)> {
+        self.rows
+            .iter()
+            .map(|r| (r.x, r.values[series_idx].mean))
+            .collect()
+    }
+
+    /// Renders an aligned text table (mean ± std per cell).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let mut header = format!("{:>10}", self.x_label);
+        for s in &self.series {
+            let _ = write!(header, " {s:>18}");
+        }
+        let _ = writeln!(out, "{header}");
+        for row in &self.rows {
+            let _ = write!(out, "{:>10.2}", row.x);
+            for v in &row.values {
+                let cell = format!("{:.2} ± {:.2}", v.mean, v.std);
+                let _ = write!(out, " {cell:>18}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders CSV: `x,<series> mean,<series> std,...` with one header
+    /// line.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{s} mean,{s} std");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{}", row.x);
+            for v in &row.values {
+                let _ = write!(out, ",{},{}", v.mean, v.std);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_known_samples() {
+        let s = Stats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std with n−1: sqrt(32/7).
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn stats_degenerate_cases() {
+        let empty = Stats::from_samples(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.mean, 0.0);
+        let single = Stats::from_samples(&[3.5]);
+        assert_eq!(single.mean, 3.5);
+        assert_eq!(single.std, 0.0);
+        assert_eq!(single.min, 3.5);
+        assert_eq!(single.max, 3.5);
+    }
+
+    #[test]
+    fn table_rendering_and_csv() {
+        let mut t = Table::new("Fig X", "N", vec!["Minim".into(), "CP".into()]);
+        t.push_row(
+            40.0,
+            vec![
+                Stats::from_samples(&[1.0, 2.0, 3.0]),
+                Stats::from_samples(&[4.0, 5.0, 6.0]),
+            ],
+        );
+        let text = t.render();
+        assert!(text.contains("Fig X"));
+        assert!(text.contains("Minim"));
+        assert!(text.contains("2.00"));
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("N,Minim mean,Minim std,CP mean,CP std"));
+        assert!(lines.next().unwrap().starts_with("40,2,"));
+    }
+
+    #[test]
+    fn series_means_extract_plot_data() {
+        let mut t = Table::new("t", "x", vec!["a".into(), "b".into()]);
+        t.push_row(
+            1.0,
+            vec![Stats::from_samples(&[10.0]), Stats::from_samples(&[20.0])],
+        );
+        t.push_row(
+            2.0,
+            vec![Stats::from_samples(&[30.0]), Stats::from_samples(&[40.0])],
+        );
+        assert_eq!(t.series_means(0), vec![(1.0, 10.0), (2.0, 30.0)]);
+        assert_eq!(t.series_means(1), vec![(1.0, 20.0), (2.0, 40.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("t", "x", vec!["a".into()]);
+        t.push_row(1.0, vec![]);
+    }
+}

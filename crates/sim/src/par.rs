@@ -1,0 +1,106 @@
+//! Deterministic parallel job execution.
+//!
+//! Every figure point averages 100 independent replicates; replicates
+//! across points are independent too, so the whole sweep is an
+//! embarrassingly parallel bag of jobs. We run it on a crossbeam
+//! scoped-thread worker pool: workers pull job indices from an atomic
+//! counter and write results into a pre-sized slot vector behind a
+//! `parking_lot::Mutex` (taken once per job completion — the hot path,
+//! the simulation itself, holds no locks).
+//!
+//! Determinism: the job function receives only its job description
+//! (which embeds a [`minim_geom::sample::child_seed`]-derived seed), so
+//! results are independent of scheduling and worker count.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `jobs` on `workers` threads, preserving input order
+/// in the output. `workers == 0` or `1` runs inline (useful for tests
+/// and debugging).
+pub fn parallel_map<T, R, F>(jobs: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers.min(jobs.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let result = f(&jobs[i]);
+                slots.lock()[i] = Some(result);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every job filled its slot"))
+        .collect()
+}
+
+/// A sensible worker count: available parallelism, capped at 16 to
+/// avoid oversubscription on shared runners.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let jobs: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&jobs, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let f = |&x: &u64| {
+            // A job with some data dependence on the seed.
+            let mut acc = x;
+            for _ in 0..1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            acc
+        };
+        let serial = parallel_map(&jobs, 1, f);
+        let parallel = parallel_map(&jobs, 8, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_jobs() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map(&none, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let jobs = vec![1, 2, 3];
+        assert_eq!(parallel_map(&jobs, 64, |&x| x), jobs);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+        assert!(default_workers() <= 16);
+    }
+}

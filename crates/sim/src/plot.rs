@@ -1,0 +1,167 @@
+//! Terminal line plots for result tables.
+//!
+//! The paper communicates its results as plots; `repro` reproduces the
+//! *data*, and this module renders each table's series means as an
+//! ASCII chart so the shapes (orderings, crossovers, saturation) are
+//! visible straight from the terminal without external tooling.
+
+use crate::metrics::Table;
+use std::fmt::Write as _;
+
+/// Per-series marker characters, cycled.
+const MARKERS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+/// Renders the table's series means as a `width × height` character
+/// plot with axis labels and a legend. Returns a plain string ending
+/// in a newline.
+///
+/// # Panics
+/// Panics if `width < 16` or `height < 4` (too small to draw anything).
+pub fn ascii_plot(table: &Table, width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "plot area too small");
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", table.title);
+    if table.rows.is_empty() || table.series.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+
+    // Data ranges.
+    let xs: Vec<f64> = table.rows.iter().map(|r| r.x).collect();
+    let mut y_min = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    for row in &table.rows {
+        for v in &row.values {
+            y_min = y_min.min(v.mean);
+            y_max = y_max.max(v.mean);
+        }
+    }
+    let x_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let x_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let x_span = if (x_max - x_min).abs() < 1e-12 {
+        1.0
+    } else {
+        x_max - x_min
+    };
+    let y_span = if (y_max - y_min).abs() < 1e-12 {
+        1.0
+    } else {
+        y_max - y_min
+    };
+
+    // Canvas.
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, _) in table.series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for row in &table.rows {
+            let cx = ((row.x - x_min) / x_span * (width - 1) as f64).round() as usize;
+            let cy = ((row.values[si].mean - y_min) / y_span * (height - 1) as f64).round()
+                as usize;
+            let r = height - 1 - cy; // y grows upward
+            // Later series overwrite on collision; the legend
+            // disambiguates close curves well enough for shape checks.
+            canvas[r][cx.min(width - 1)] = marker;
+        }
+    }
+
+    // Render with a y-axis gutter.
+    let y_label_top = format!("{y_max:>10.1}");
+    let y_label_bot = format!("{y_min:>10.1}");
+    for (r, line) in canvas.iter().enumerate() {
+        let gutter = if r == 0 {
+            &y_label_top
+        } else if r == height - 1 {
+            &y_label_bot
+        } else {
+            &"          ".to_string()
+        };
+        let _ = writeln!(out, "{gutter} |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:>10} +{}", "", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{:>10}  {:<width$}",
+        "",
+        format!(
+            "{} = {:.6} .. {:.6}",
+            table.x_label, x_min, x_max
+        ),
+        width = width
+    );
+    let legend: Vec<String> = table
+        .series
+        .iter()
+        .enumerate()
+        .map(|(si, name)| format!("{} {}", MARKERS[si % MARKERS.len()], name))
+        .collect();
+    let _ = writeln!(out, "{:>10}  legend: {}", "", legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Stats;
+
+    fn table_with(series: Vec<&str>, rows: Vec<(f64, Vec<f64>)>) -> Table {
+        let mut t = Table::new("T", "x", series.into_iter().map(String::from).collect());
+        for (x, means) in rows {
+            t.push_row(
+                x,
+                means
+                    .into_iter()
+                    .map(|m| Stats::from_samples(&[m]))
+                    .collect(),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn renders_title_axis_and_legend() {
+        let t = table_with(
+            vec!["Minim", "CP"],
+            vec![(1.0, vec![1.0, 2.0]), (2.0, vec![2.0, 4.0])],
+        );
+        let plot = ascii_plot(&t, 40, 10);
+        assert!(plot.contains("T\n"));
+        assert!(plot.contains("legend: * Minim   + CP"));
+        assert!(plot.contains("x = 1"));
+        assert!(plot.contains('*'));
+        assert!(plot.contains('+'));
+    }
+
+    #[test]
+    fn increasing_series_puts_marker_higher_on_the_right() {
+        let t = table_with(vec!["s"], vec![(0.0, vec![0.0]), (10.0, vec![10.0])]);
+        let plot = ascii_plot(&t, 20, 8);
+        let lines: Vec<&str> = plot.lines().collect();
+        // First canvas line (top) holds the max-value marker at the
+        // right; the bottom canvas line holds the min at the left.
+        let top = lines[1];
+        let bottom = lines[8];
+        assert!(top.trim_end().ends_with('*'), "top: {top:?}");
+        assert!(bottom.contains("|*"), "bottom: {bottom:?}");
+    }
+
+    #[test]
+    fn empty_table_renders_placeholder() {
+        let t = Table::new("E", "x", vec!["a".into()]);
+        let plot = ascii_plot(&t, 30, 6);
+        assert!(plot.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let t = table_with(vec!["flat"], vec![(1.0, vec![5.0]), (2.0, vec![5.0])]);
+        let plot = ascii_plot(&t, 24, 6);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_canvas_rejected() {
+        let t = table_with(vec!["a"], vec![(0.0, vec![1.0])]);
+        let _ = ascii_plot(&t, 4, 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Scenario runners: apply generated event sequences to a strategy and
+//! accumulate the paper's two metrics.
+
+use minim_core::RecodingStrategy;
+use minim_net::event::{apply_topology, Event};
+use minim_net::workload::MovementWorkload;
+use minim_net::Network;
+use rand::Rng;
+
+/// Accumulated §5 metrics for one phase of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseMetrics {
+    /// Total recodings performed during the phase.
+    pub recodings: usize,
+    /// Maximum color index assigned at phase end.
+    pub max_color: u32,
+}
+
+/// Applies `events` in order with `strategy`, returning the phase
+/// metrics. Panics (via the strategies' debug assertions) if any event
+/// leaves the network invalid.
+pub fn run_events(
+    strategy: &mut dyn RecodingStrategy,
+    net: &mut Network,
+    events: &[Event],
+) -> PhaseMetrics {
+    let mut recodings = 0;
+    for e in events {
+        let (_, outcome) = strategy.apply(net, e);
+        recodings += outcome.recodings();
+    }
+    PhaseMetrics {
+        recodings,
+        max_color: net.max_color_index(),
+    }
+}
+
+/// Pre-generates `rounds` rounds of §5.3 movement events.
+///
+/// Positions evolve identically for every strategy (recoding never
+/// moves nodes), so the rounds are simulated once on a colorless
+/// *ghost* network and the same event lists are replayed against each
+/// strategy — this keeps the comparison paired (identical randomness
+/// per strategy), which is how the paper can plot Δ-metrics across
+/// strategies for "the same" mobility.
+pub fn pregenerate_movement_rounds<R: Rng + ?Sized>(
+    base: &Network,
+    workload: &MovementWorkload,
+    rounds: usize,
+    rng: &mut R,
+) -> Vec<Vec<Event>> {
+    let mut ghost = base.clone();
+    let mut out = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let events = workload.generate_round(&ghost, rng);
+        for e in &events {
+            apply_topology(&mut ghost, e);
+        }
+        out.push(events);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minim_core::{Minim, StrategyKind};
+    use minim_net::workload::JoinWorkload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn run_events_counts_recodings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let events = JoinWorkload::paper(20).generate(&mut rng);
+        let mut net = Network::new(25.0);
+        let mut strategy = Minim::default();
+        let metrics = run_events(&mut strategy, &mut net, &events);
+        // Every join recodes at least the joiner.
+        assert!(metrics.recodings >= 20);
+        assert!(metrics.max_color >= 1);
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn movement_rounds_replay_identically_across_strategies() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let join_events = JoinWorkload::paper(15).generate(&mut rng);
+        let mut base = Network::new(25.0);
+        let mut m = Minim::default();
+        for e in &join_events {
+            m.apply(&mut base, &e.clone());
+        }
+        let w = MovementWorkload::paper(30.0, 1);
+        let rounds = pregenerate_movement_rounds(&base, &w, 3, &mut rng);
+        assert_eq!(rounds.len(), 3);
+        for r in &rounds {
+            assert_eq!(r.len(), 15, "every node moves once per round");
+        }
+
+        // Replaying the same rounds against two strategies leaves both
+        // networks with identical topology.
+        let mut nets = Vec::new();
+        for kind in [StrategyKind::Minim, StrategyKind::Cp] {
+            let mut net = base.clone();
+            let mut s = kind.build();
+            for round in &rounds {
+                run_events(&mut *s, &mut net, round);
+            }
+            assert!(net.validate().is_ok());
+            nets.push(net);
+        }
+        let a = &nets[0];
+        let b = &nets[1];
+        for id in a.node_ids() {
+            assert_eq!(a.config(id).unwrap().pos, b.config(id).unwrap().pos);
+        }
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+    }
+}
