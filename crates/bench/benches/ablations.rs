@@ -68,5 +68,10 @@ fn bench_matching_policy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_keep_weight, bench_cp_pick, bench_matching_policy);
+criterion_group!(
+    benches,
+    bench_keep_weight,
+    bench_cp_pick,
+    bench_matching_policy
+);
 criterion_main!(benches);

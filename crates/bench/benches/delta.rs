@@ -1,0 +1,82 @@
+//! The locality payoff: per-event `O(Δ)` delta validation vs the
+//! `O(E)` full-revalidation control, on the paper's Fig 10 join sweep.
+//!
+//! `event_loop/delta-validate/N` runs the N-join workload with
+//! `ValidationMode::Delta` (every event checked on its affected
+//! neighborhood only); `event_loop/full-validate/N` is the control
+//! that re-checks CA1/CA2 over the whole conflict graph after every
+//! event. The acceptance bar for the delta refactor is
+//! `delta-validate` beating `full-validate` at N = 100; the sweep's
+//! larger points show the gap widening with network size, which is the
+//! scalability argument for the delta architecture.
+//!
+//! `validator/*` isolates the two checkers on a standing 100-node
+//! network (one changed node seeded), removing the strategy's own cost
+//! from the comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minim_bench::join_events;
+use minim_core::{Minim, RecodingStrategy};
+use minim_graph::conflict;
+use minim_net::Network;
+use minim_sim::runner::{run_events_validated, ValidationMode};
+
+fn bench_event_loop_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_loop");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let events = join_events(n, 1);
+        for (label, mode) in [
+            ("delta-validate", ValidationMode::Delta),
+            ("full-validate", ValidationMode::Full),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(label, mode),
+                |b, &(_, mode)| {
+                    b.iter(|| {
+                        let mut net = Network::new(30.5);
+                        let mut s = Minim::default();
+                        black_box(run_events_validated(&mut s, &mut net, &events, mode))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_validators_standing_network(c: &mut Criterion) {
+    // A standing 100-node paper network; validate as if one node's
+    // event just landed.
+    let events = join_events(100, 7);
+    let mut net = Network::new(30.5);
+    let mut s = Minim::default();
+    for e in &events {
+        s.apply(&mut net, e);
+    }
+    let seed_node = net.node_ids()[50];
+    let seeds = [seed_node];
+
+    let mut group = c.benchmark_group("validator");
+    group.bench_function("delta_one_node", |b| {
+        b.iter(|| {
+            black_box(conflict::validate_delta(
+                net.graph(),
+                net.assignment(),
+                black_box(&seeds),
+            ))
+        })
+    });
+    group.bench_function("full_graph", |b| {
+        b.iter(|| black_box(conflict::validate(net.graph(), net.assignment())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_loop_validation,
+    bench_validators_standing_network
+);
+criterion_main!(benches);

@@ -165,19 +165,11 @@ fn main() {
             paper_fig12_maxdisps()
         };
         let figs_a = fig12_vs_maxdisp(&cfg, &disps, 40);
-        emit(
-            &args,
-            "fig12_drecodings_vs_maxdisp.csv",
-            &figs_a.drecodings,
-        );
+        emit(&args, "fig12_drecodings_vs_maxdisp.csv", &figs_a.drecodings);
         let rounds = if args.quick { 4 } else { 10 };
         let figs_b = fig12_vs_rounds(&cfg, rounds, 40, 40.0);
         emit(&args, "fig12_dcolors_vs_rounds.csv", &figs_b.dcolors);
-        emit(
-            &args,
-            "fig12_drecodings_vs_rounds.csv",
-            &figs_b.drecodings,
-        );
+        emit(&args, "fig12_drecodings_vs_rounds.csv", &figs_b.drecodings);
         println!("  fig12 done in {:.1?}\n", t0.elapsed());
     }
 
@@ -348,7 +340,9 @@ fn proto_cost_study(cfg: &ExperimentConfig, ns: &[usize]) -> Table {
             let mut net = Network::new(30.5);
             let (mut msgs, mut rounds) = (0usize, 0usize);
             for e in &events {
-                let Event::Join { cfg } = e else { unreachable!() };
+                let Event::Join { cfg } = e else {
+                    unreachable!()
+                };
                 let id = net.next_id();
                 let (_, m) = distributed_minim_join(&mut net, id, *cfg);
                 msgs += m.messages;
@@ -360,7 +354,9 @@ fn proto_cost_study(cfg: &ExperimentConfig, ns: &[usize]) -> Table {
             let mut net = Network::new(30.5);
             let (mut msgs, mut rounds) = (0usize, 0usize);
             for e in &events {
-                let Event::Join { cfg } = e else { unreachable!() };
+                let Event::Join { cfg } = e else {
+                    unreachable!()
+                };
                 let id = net.next_id();
                 let (_, m) = distributed_cp_join(&mut net, id, *cfg);
                 msgs += m.messages;
@@ -369,7 +365,10 @@ fn proto_cost_study(cfg: &ExperimentConfig, ns: &[usize]) -> Table {
             cols[2].push(msgs as f64 / n as f64);
             cols[3].push(rounds as f64 / n as f64);
         }
-        table.push_row(n as f64, cols.iter().map(|s| Stats::from_samples(s)).collect());
+        table.push_row(
+            n as f64,
+            cols.iter().map(|s| Stats::from_samples(s)).collect(),
+        );
     }
     table
 }

@@ -185,7 +185,12 @@ pub fn rlf(g: &UGraph) -> Coloring {
         // Seed: max degree among candidates (ties by index).
         let seed = (0..n)
             .filter(|&v| state[v] == 0)
-            .max_by_key(|&v| (g.neighbors(v).iter().filter(|&&u| state[u] == 0).count(), n - v))
+            .max_by_key(|&v| {
+                (
+                    g.neighbors(v).iter().filter(|&&u| state[u] == 0).count(),
+                    n - v,
+                )
+            })
             .expect("uncolored vertices remain");
         colors[seed] = color;
         uncolored -= 1;
@@ -198,13 +203,11 @@ pub fn rlf(g: &UGraph) -> Coloring {
         loop {
             // Next member: candidate with the most excluded neighbors;
             // ties by fewest candidate neighbors, then index.
-            let next = (0..n)
-                .filter(|&v| state[v] == 0)
-                .max_by_key(|&v| {
-                    let excluded = g.neighbors(v).iter().filter(|&&u| state[u] == 1).count();
-                    let candidates = g.neighbors(v).iter().filter(|&&u| state[u] == 0).count();
-                    (excluded, n - candidates, n - v)
-                });
+            let next = (0..n).filter(|&v| state[v] == 0).max_by_key(|&v| {
+                let excluded = g.neighbors(v).iter().filter(|&&u| state[u] == 1).count();
+                let candidates = g.neighbors(v).iter().filter(|&&u| state[u] == 0).count();
+                (excluded, n - candidates, n - v)
+            });
             let Some(v) = next else { break };
             colors[v] = color;
             uncolored -= 1;
@@ -307,13 +310,7 @@ pub fn exact_chromatic(g: &UGraph) -> u32 {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
 
-    fn feasible(
-        g: &UGraph,
-        order: &[usize],
-        idx: usize,
-        k: u32,
-        colors: &mut Vec<u32>,
-    ) -> bool {
+    fn feasible(g: &UGraph, order: &[usize], idx: usize, k: u32, colors: &mut Vec<u32>) -> bool {
         if idx == order.len() {
             return true;
         }

@@ -10,7 +10,7 @@
 //! assignment — "BBB performs badly since it recolors the entire
 //! network at each event").
 
-use crate::{RecodeOutcome, RecodingStrategy};
+use crate::{EventEffect, RecodeOutcome, RecodingStrategy};
 use minim_coloring::{dsatur, rlf, smallest_last, Coloring};
 use minim_geom::Point;
 use minim_graph::{conflict, Color, NodeId, UGraph};
@@ -76,32 +76,42 @@ impl RecodingStrategy for Bbb {
         "BBB"
     }
 
-    fn on_join(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> RecodeOutcome {
+    // BBB deliberately ignores the delta's locality — recoloring the
+    // whole network at every event is exactly the behaviour the paper
+    // measures it for. The delta still flows through so the runner's
+    // accounting (edge churn, local validation seeds) is uniform
+    // across strategies.
+
+    fn on_join_delta(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> EventEffect {
         let before = net.snapshot_assignment();
-        net.insert_node(id, cfg);
+        let delta = net.insert_node(id, cfg);
         self.recolor_all(net);
-        RecodeOutcome::from_diff(net, &before)
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        EventEffect { delta, outcome }
     }
 
-    fn on_leave(&mut self, net: &mut Network, id: NodeId) -> RecodeOutcome {
+    fn on_leave_delta(&mut self, net: &mut Network, id: NodeId) -> EventEffect {
         let before = net.snapshot_assignment();
-        net.remove_node(id);
+        let delta = net.remove_node(id);
         self.recolor_all(net);
-        RecodeOutcome::from_diff(net, &before)
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        EventEffect { delta, outcome }
     }
 
-    fn on_move(&mut self, net: &mut Network, id: NodeId, to: Point) -> RecodeOutcome {
+    fn on_move_delta(&mut self, net: &mut Network, id: NodeId, to: Point) -> EventEffect {
         let before = net.snapshot_assignment();
-        net.move_node(id, to);
+        let delta = net.move_node(id, to);
         self.recolor_all(net);
-        RecodeOutcome::from_diff(net, &before)
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        EventEffect { delta, outcome }
     }
 
-    fn on_set_range(&mut self, net: &mut Network, id: NodeId, range: f64) -> RecodeOutcome {
+    fn on_set_range_delta(&mut self, net: &mut Network, id: NodeId, range: f64) -> EventEffect {
         let before = net.snapshot_assignment();
-        net.set_range(id, range);
+        let delta = net.set_range(id, range);
         self.recolor_all(net);
-        RecodeOutcome::from_diff(net, &before)
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        EventEffect { delta, outcome }
     }
 }
 

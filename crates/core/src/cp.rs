@@ -36,12 +36,14 @@
 //! are > 2 hops apart and cannot constrain each other), and keeps runs
 //! deterministic.
 
-use crate::{range_direction, RecodeOutcome, RecodingStrategy};
+use crate::{
+    debug_assert_locally_valid, range_direction, EventEffect, RecodeOutcome, RecodingStrategy,
+};
 use minim_geom::Point;
 use minim_graph::{conflict, hops};
 use minim_graph::{Color, NodeId};
 use minim_net::event::PowerDirection;
-use minim_net::{Network, NodeConfig};
+use minim_net::{Network, NodeConfig, TopologyDelta};
 use std::collections::HashMap;
 
 /// The Chlamtac–Pinter recoding baseline.
@@ -106,10 +108,11 @@ impl Cp {
         }
     }
 
-    /// The duplicated-color members of `1n ∪ 2n` around `n` (the nodes
-    /// whose pairs violate CA2 through the joiner).
-    fn duplicate_in_neighbors(net: &Network, n: NodeId) -> Vec<NodeId> {
-        let in_union = net.partitions(n).in_union();
+    /// The duplicated-color members of `1n ∪ 2n` around the delta's
+    /// node (the nodes whose pairs violate CA2 through the joiner) —
+    /// read straight off the delta's neighbor lists.
+    fn duplicate_in_neighbors(net: &Network, delta: &TopologyDelta) -> Vec<NodeId> {
+        let in_union = delta.partitions().in_union();
         let mut by_color: HashMap<Color, Vec<NodeId>> = HashMap::new();
         for &u in &in_union {
             if let Some(c) = net.assignment().get(u) {
@@ -125,12 +128,18 @@ impl Cp {
         dup
     }
 
-    /// Shared join engine (also the second half of a move).
-    fn join_recode(&self, net: &mut Network, id: NodeId) {
+    /// Shared join engine (also the second half of a move). The
+    /// affected neighborhood comes from the event's delta.
+    fn join_recode(&self, net: &mut Network, delta: &TopologyDelta) {
+        let id = delta.node();
         let mut to_recolor = if self.whole_neighborhood {
-            net.graph().undirected_neighbors(id)
+            let p = delta.partitions();
+            let mut v = p.in_union();
+            v.extend_from_slice(&p.three);
+            v.sort_unstable();
+            v
         } else {
-            Self::duplicate_in_neighbors(net, id)
+            Self::duplicate_in_neighbors(net, delta)
         };
         to_recolor.push(id);
         self.reselect(net, to_recolor);
@@ -142,41 +151,60 @@ impl RecodingStrategy for Cp {
         "CP"
     }
 
-    fn on_join(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> RecodeOutcome {
+    fn on_join_delta(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> EventEffect {
         let before = net.snapshot_assignment();
-        net.insert_node(id, cfg);
-        self.join_recode(net, id);
-        debug_assert!(net.validate().is_ok(), "CP join produced invalid assignment");
-        RecodeOutcome::from_diff(net, &before)
+        let delta = net.insert_node(id, cfg);
+        self.join_recode(net, &delta);
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        debug_assert_locally_valid(net, &delta, &outcome);
+        EventEffect { delta, outcome }
     }
 
-    fn on_leave(&mut self, net: &mut Network, id: NodeId) -> RecodeOutcome {
+    fn on_leave_delta(&mut self, net: &mut Network, id: NodeId) -> EventEffect {
         let before = net.snapshot_assignment();
-        net.remove_node(id);
-        debug_assert!(net.validate().is_ok());
-        RecodeOutcome::from_diff(net, &before)
+        let delta = net.remove_node(id);
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        debug_assert_locally_valid(net, &delta, &outcome);
+        EventEffect { delta, outcome }
     }
 
     /// Leave + join: the mover forgets its color before rejoining.
-    fn on_move(&mut self, net: &mut Network, id: NodeId, to: Point) -> RecodeOutcome {
+    fn on_move_delta(&mut self, net: &mut Network, id: NodeId, to: Point) -> EventEffect {
         let before = net.snapshot_assignment();
         net.assignment_mut().unset(id);
-        net.move_node(id, to);
-        self.join_recode(net, id);
-        debug_assert!(net.validate().is_ok(), "CP move produced invalid assignment");
-        RecodeOutcome::from_diff(net, &before)
+        let delta = net.move_node(id, to);
+        self.join_recode(net, &delta);
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        debug_assert_locally_valid(net, &delta, &outcome);
+        EventEffect { delta, outcome }
     }
 
-    fn on_set_range(&mut self, net: &mut Network, id: NodeId, range: f64) -> RecodeOutcome {
+    fn on_set_range_delta(&mut self, net: &mut Network, id: NodeId, range: f64) -> EventEffect {
         let dir = range_direction(net, id, range);
         let before = net.snapshot_assignment();
         let partners_before = conflict::conflicts_of(net.graph(), id);
-        net.set_range(id, range);
+        let delta = net.set_range(id, range);
         match dir {
             PowerDirection::Increase => {
-                let partners_after = conflict::conflicts_of(net.graph(), id);
+                // The candidates for new conflicts come from the
+                // delta: each newly reached receiver `w` (CA1 partner)
+                // and `w`'s other transmitters (CA2 partners). No
+                // second full conflict-set derivation.
                 let my_color = net.assignment().get(id);
-                let mut to_recolor: Vec<NodeId> = partners_after
+                let mut new_partners: Vec<NodeId> = Vec::new();
+                for w in delta.new_receivers() {
+                    new_partners.push(w);
+                    new_partners.extend(
+                        net.graph()
+                            .in_neighbors(w)
+                            .iter()
+                            .copied()
+                            .filter(|&x| x != id),
+                    );
+                }
+                new_partners.sort_unstable();
+                new_partners.dedup();
+                let mut to_recolor: Vec<NodeId> = new_partners
                     .into_iter()
                     .filter(|p| partners_before.binary_search(p).is_err())
                     .filter(|&p| net.assignment().get(p) == my_color)
@@ -189,8 +217,9 @@ impl RecodingStrategy for Cp {
             }
             PowerDirection::Decrease | PowerDirection::Unchanged => {}
         }
-        debug_assert!(net.validate().is_ok(), "CP range change produced invalid assignment");
-        RecodeOutcome::from_diff(net, &before)
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        debug_assert_locally_valid(net, &delta, &outcome);
+        EventEffect { delta, outcome }
     }
 }
 
@@ -212,7 +241,11 @@ mod tests {
         let mut net = Network::new(25.0);
         for e in JoinWorkload::paper(count).generate(&mut rng) {
             strategy.apply(&mut net, &e);
-            assert!(net.validate().is_ok(), "{} invalid after join", strategy.name());
+            assert!(
+                net.validate().is_ok(),
+                "{} invalid after join",
+                strategy.name()
+            );
         }
         net
     }
@@ -542,8 +575,7 @@ mod tests {
             } else if roll < 0.85 {
                 let ids = net.node_ids();
                 let v = ids[rng.gen_range(0..ids.len())];
-                let to =
-                    sample::random_move(&mut rng, net.config(v).unwrap().pos, 30.0, &arena);
+                let to = sample::random_move(&mut rng, net.config(v).unwrap().pos, 30.0, &arena);
                 cp.on_move(&mut net, v, to);
             } else {
                 let ids = net.node_ids();

@@ -109,23 +109,27 @@ impl MinimWithGossip {
         }
     }
 
-    /// Runs gossip when due, merging its migrations into `outcome`.
+    /// Runs gossip when due, merging its migrations into the effect's
+    /// outcome.
     fn maybe_gossip(
         &mut self,
         net: &mut minim_net::Network,
         before: &minim_graph::Assignment,
-        outcome: crate::RecodeOutcome,
-    ) -> crate::RecodeOutcome {
+        effect: crate::EventEffect,
+    ) -> crate::EventEffect {
         self.events_since_gossip += 1;
         if self.events_since_gossip < self.period {
-            return outcome;
+            return effect;
         }
         self.events_since_gossip = 0;
         GossipCompactor.round(net);
         // Recompute the combined diff against the pre-event snapshot so
         // event recodes and gossip migrations are both counted (a node
         // recoded twice counts once — it retunes once per event batch).
-        crate::RecodeOutcome::from_diff(net, before)
+        crate::EventEffect {
+            delta: effect.delta,
+            outcome: crate::RecodeOutcome::from_diff(net, before),
+        }
     }
 }
 
@@ -134,47 +138,47 @@ impl crate::RecodingStrategy for MinimWithGossip {
         "Minim+Gossip"
     }
 
-    fn on_join(
+    fn on_join_delta(
         &mut self,
         net: &mut minim_net::Network,
         id: minim_graph::NodeId,
         cfg: minim_net::NodeConfig,
-    ) -> crate::RecodeOutcome {
+    ) -> crate::EventEffect {
         let before = net.snapshot_assignment();
-        let outcome = self.inner.on_join(net, id, cfg);
-        self.maybe_gossip(net, &before, outcome)
+        let effect = self.inner.on_join_delta(net, id, cfg);
+        self.maybe_gossip(net, &before, effect)
     }
 
-    fn on_leave(
+    fn on_leave_delta(
         &mut self,
         net: &mut minim_net::Network,
         id: minim_graph::NodeId,
-    ) -> crate::RecodeOutcome {
+    ) -> crate::EventEffect {
         let before = net.snapshot_assignment();
-        let outcome = self.inner.on_leave(net, id);
-        self.maybe_gossip(net, &before, outcome)
+        let effect = self.inner.on_leave_delta(net, id);
+        self.maybe_gossip(net, &before, effect)
     }
 
-    fn on_move(
+    fn on_move_delta(
         &mut self,
         net: &mut minim_net::Network,
         id: minim_graph::NodeId,
         to: minim_geom::Point,
-    ) -> crate::RecodeOutcome {
+    ) -> crate::EventEffect {
         let before = net.snapshot_assignment();
-        let outcome = self.inner.on_move(net, id, to);
-        self.maybe_gossip(net, &before, outcome)
+        let effect = self.inner.on_move_delta(net, id, to);
+        self.maybe_gossip(net, &before, effect)
     }
 
-    fn on_set_range(
+    fn on_set_range_delta(
         &mut self,
         net: &mut minim_net::Network,
         id: minim_graph::NodeId,
         range: f64,
-    ) -> crate::RecodeOutcome {
+    ) -> crate::EventEffect {
         let before = net.snapshot_assignment();
-        let outcome = self.inner.on_set_range(net, id, range);
-        self.maybe_gossip(net, &before, outcome)
+        let effect = self.inner.on_set_range_delta(net, id, range);
+        self.maybe_gossip(net, &before, effect)
     }
 }
 

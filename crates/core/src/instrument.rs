@@ -3,7 +3,7 @@
 //! reusable by examples and by downstream users evaluating their own
 //! strategies.
 
-use crate::{RecodeOutcome, RecodingStrategy};
+use crate::{EventEffect, RecodeOutcome, RecodingStrategy};
 use minim_geom::Point;
 use minim_graph::NodeId;
 use minim_net::{Network, NodeConfig};
@@ -50,6 +50,10 @@ pub struct StrategyStats {
     pub range_changes: KindStats,
     /// Highest max-color-index observed after any event.
     pub peak_color: u32,
+    /// Total digraph edge insertions + removals across all events —
+    /// the `Δ` that bounds per-event work, summed (read off each
+    /// event's [`minim_net::TopologyDelta`]).
+    pub edge_churn: usize,
 }
 
 impl StrategyStats {
@@ -110,8 +114,9 @@ impl<S: RecodingStrategy> Instrumented<S> {
         &self.inner
     }
 
-    fn absorb(&mut self, outcome: &RecodeOutcome) {
-        self.stats.peak_color = self.stats.peak_color.max(outcome.max_color_after);
+    fn absorb(&mut self, effect: &EventEffect) {
+        self.stats.peak_color = self.stats.peak_color.max(effect.outcome.max_color_after);
+        self.stats.edge_churn += effect.delta.edge_churn();
     }
 }
 
@@ -120,32 +125,32 @@ impl<S: RecodingStrategy> RecodingStrategy for Instrumented<S> {
         self.inner.name()
     }
 
-    fn on_join(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> RecodeOutcome {
-        let outcome = self.inner.on_join(net, id, cfg);
-        self.stats.joins.record(&outcome);
-        self.absorb(&outcome);
-        outcome
+    fn on_join_delta(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> EventEffect {
+        let effect = self.inner.on_join_delta(net, id, cfg);
+        self.stats.joins.record(&effect.outcome);
+        self.absorb(&effect);
+        effect
     }
 
-    fn on_leave(&mut self, net: &mut Network, id: NodeId) -> RecodeOutcome {
-        let outcome = self.inner.on_leave(net, id);
-        self.stats.leaves.record(&outcome);
-        self.absorb(&outcome);
-        outcome
+    fn on_leave_delta(&mut self, net: &mut Network, id: NodeId) -> EventEffect {
+        let effect = self.inner.on_leave_delta(net, id);
+        self.stats.leaves.record(&effect.outcome);
+        self.absorb(&effect);
+        effect
     }
 
-    fn on_move(&mut self, net: &mut Network, id: NodeId, to: Point) -> RecodeOutcome {
-        let outcome = self.inner.on_move(net, id, to);
-        self.stats.moves.record(&outcome);
-        self.absorb(&outcome);
-        outcome
+    fn on_move_delta(&mut self, net: &mut Network, id: NodeId, to: Point) -> EventEffect {
+        let effect = self.inner.on_move_delta(net, id, to);
+        self.stats.moves.record(&effect.outcome);
+        self.absorb(&effect);
+        effect
     }
 
-    fn on_set_range(&mut self, net: &mut Network, id: NodeId, range: f64) -> RecodeOutcome {
-        let outcome = self.inner.on_set_range(net, id, range);
-        self.stats.range_changes.record(&outcome);
-        self.absorb(&outcome);
-        outcome
+    fn on_set_range_delta(&mut self, net: &mut Network, id: NodeId, range: f64) -> EventEffect {
+        let effect = self.inner.on_set_range_delta(net, id, range);
+        self.stats.range_changes.record(&effect.outcome);
+        self.absorb(&effect);
+        effect
     }
 }
 
@@ -182,7 +187,10 @@ mod tests {
         assert_eq!(s.stats.leaves.events, 1);
         assert_eq!(s.stats.total_events(), 43);
         assert_eq!(s.stats.leaves.recodings, 0, "leaves are free");
-        assert!(s.stats.joins.recodings >= 20, "every join colors the joiner");
+        assert!(
+            s.stats.joins.recodings >= 20,
+            "every join colors the joiner"
+        );
         assert_eq!(s.stats.peak_color, {
             // Peak is at least the current max (colors never exceeded it
             // later without being observed).

@@ -35,9 +35,9 @@ pub use instrument::{Instrumented, StrategyStats};
 pub use minim::{gather_recode_inputs, plan_recode, Minim, KEEP_WEIGHT};
 
 use minim_geom::Point;
-use minim_graph::{Color, NodeId};
+use minim_graph::{conflict, Color, NodeId};
 use minim_net::event::{AppliedEvent, Event, PowerDirection};
-use minim_net::{Network, NodeConfig};
+use minim_net::{Network, NodeConfig, TopologyDelta};
 
 /// What a strategy did in response to one event.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -67,52 +67,127 @@ impl RecodeOutcome {
     }
 }
 
+/// The full effect of one handled event: the exact topology delta the
+/// substrate reported and the recoding the strategy performed on top
+/// of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventEffect {
+    /// What the event did to the induced digraph.
+    pub delta: TopologyDelta,
+    /// What the strategy recoded in response.
+    pub outcome: RecodeOutcome,
+}
+
 /// A recoding strategy: one algorithm per event type.
 ///
 /// Each handler applies the topology change itself (so it can observe
 /// the network both before and after) and then restores CA1/CA2. Every
-/// implementation guarantees `net.validate().is_ok()` on return,
-/// provided it held before the event.
+/// implementation guarantees validity on return, provided it held
+/// before the event.
+///
+/// The `*_delta` handlers are the required implementations: they
+/// receive the [`TopologyDelta`] from the mutating `Network` call and
+/// recode *from the delta* — partitions, recode sets, and new
+/// constraints all come out of it, so per-event work is
+/// `O(affected neighborhood)`, matching the paper's locality claim.
+/// The delta-less `on_*` methods are provided conveniences for
+/// callers that only need the [`RecodeOutcome`].
 pub trait RecodingStrategy {
     /// Human-readable name for tables and plots.
     fn name(&self) -> &'static str;
 
     /// Node `id` (fresh, from [`Network::next_id`]) joins with `cfg`.
-    fn on_join(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> RecodeOutcome;
+    fn on_join_delta(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> EventEffect;
 
     /// Node `id` leaves the network.
-    fn on_leave(&mut self, net: &mut Network, id: NodeId) -> RecodeOutcome;
+    fn on_leave_delta(&mut self, net: &mut Network, id: NodeId) -> EventEffect;
 
     /// Node `id` moves to `to`.
-    fn on_move(&mut self, net: &mut Network, id: NodeId, to: Point) -> RecodeOutcome;
+    fn on_move_delta(&mut self, net: &mut Network, id: NodeId, to: Point) -> EventEffect;
 
     /// Node `id` changes its transmission range to `range` (the
     /// strategy decides how to treat increases vs decreases).
-    fn on_set_range(&mut self, net: &mut Network, id: NodeId, range: f64) -> RecodeOutcome;
+    fn on_set_range_delta(&mut self, net: &mut Network, id: NodeId, range: f64) -> EventEffect;
 
-    /// Applies an [`Event`], dispatching to the appropriate handler.
-    fn apply(&mut self, net: &mut Network, event: &Event) -> (AppliedEvent, RecodeOutcome) {
+    /// Convenience: join, discarding the delta.
+    fn on_join(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> RecodeOutcome {
+        self.on_join_delta(net, id, cfg).outcome
+    }
+
+    /// Convenience: leave, discarding the delta.
+    fn on_leave(&mut self, net: &mut Network, id: NodeId) -> RecodeOutcome {
+        self.on_leave_delta(net, id).outcome
+    }
+
+    /// Convenience: move, discarding the delta.
+    fn on_move(&mut self, net: &mut Network, id: NodeId, to: Point) -> RecodeOutcome {
+        self.on_move_delta(net, id, to).outcome
+    }
+
+    /// Convenience: range change, discarding the delta.
+    fn on_set_range(&mut self, net: &mut Network, id: NodeId, range: f64) -> RecodeOutcome {
+        self.on_set_range_delta(net, id, range).outcome
+    }
+
+    /// Applies an [`Event`], returning both the topology delta and the
+    /// recoding — the simulation runner's entry point.
+    fn apply_delta(&mut self, net: &mut Network, event: &Event) -> (AppliedEvent, EventEffect) {
         match event {
             Event::Join { cfg } => {
                 let id = net.next_id();
-                let out = self.on_join(net, id, *cfg);
-                (AppliedEvent::Joined(id), out)
+                let effect = self.on_join_delta(net, id, *cfg);
+                (AppliedEvent::Joined(id), effect)
             }
             Event::Leave { node } => {
-                let out = self.on_leave(net, *node);
-                (AppliedEvent::Left(*node), out)
+                let effect = self.on_leave_delta(net, *node);
+                (AppliedEvent::Left(*node), effect)
             }
             Event::Move { node, to } => {
-                let out = self.on_move(net, *node, *to);
-                (AppliedEvent::Moved(*node), out)
+                let effect = self.on_move_delta(net, *node, *to);
+                (AppliedEvent::Moved(*node), effect)
             }
             Event::SetRange { node, range } => {
                 let dir = event
                     .power_direction(net)
                     .expect("SetRange target must exist");
-                let out = self.on_set_range(net, *node, *range);
-                (AppliedEvent::RangeChanged(*node, dir), out)
+                let effect = self.on_set_range_delta(net, *node, *range);
+                (AppliedEvent::RangeChanged(*node, dir), effect)
             }
+        }
+    }
+
+    /// Applies an [`Event`], dispatching to the appropriate handler.
+    fn apply(&mut self, net: &mut Network, event: &Event) -> (AppliedEvent, RecodeOutcome) {
+        let (applied, effect) = self.apply_delta(net, event);
+        (applied, effect.outcome)
+    }
+}
+
+/// The seed set [`conflict::validate_delta`] needs for one event: the
+/// initiating node plus everything the strategy recoded. Sorted,
+/// deduplicated. `O(recode set)` — independent of node degree.
+pub fn validation_seeds(delta: &TopologyDelta, outcome: &RecodeOutcome) -> Vec<NodeId> {
+    let mut seeds = Vec::with_capacity(1 + outcome.recoded.len());
+    seeds.push(delta.node());
+    seeds.extend(outcome.recoded.iter().map(|&(n, ..)| n));
+    seeds.sort_unstable();
+    seeds.dedup();
+    seeds
+}
+
+/// Debug-build check that the event left CA1/CA2 intact, done locally:
+/// seeded with [`validation_seeds`], exactly the contract of
+/// [`conflict::validate_delta`]. Compiled out in release builds.
+#[inline]
+pub(crate) fn debug_assert_locally_valid(
+    net: &Network,
+    delta: &TopologyDelta,
+    outcome: &RecodeOutcome,
+) {
+    if cfg!(debug_assertions) {
+        let seeds = validation_seeds(delta, outcome);
+        if let Err(v) = conflict::validate_delta(net.graph(), net.assignment(), &seeds) {
+            panic!("event left a local CA1/CA2 violation: {v}");
         }
     }
 }

@@ -20,13 +20,15 @@
 //! Theorem 4.4.1 (move ≡ leave + join) holds for this implementation by
 //! construction and is tested below.
 
-use crate::{range_direction, RecodeOutcome, RecodingStrategy};
+use crate::{
+    debug_assert_locally_valid, range_direction, EventEffect, RecodeOutcome, RecodingStrategy,
+};
 use minim_geom::Point;
 use minim_graph::conflict;
 use minim_graph::{Color, NodeId};
 use minim_matching::{max_weight_matching, WeightedBipartite};
 use minim_net::event::PowerDirection;
-use minim_net::{Network, NodeConfig};
+use minim_net::{Network, NodeConfig, TopologyDelta};
 
 /// Weight of a "keep your old color" edge in the matching instance.
 /// The paper fixes 3: the smallest integer that survives the swap
@@ -59,11 +61,14 @@ impl Minim {
     }
 
     /// The common engine of `RecodeOnJoin` and `RecodeOnMove`: recode
-    /// `1n ∪ 2n ∪ {n}` via maximum-weight matching. Call after the
-    /// topology change; `n` may or may not hold an old color.
-    fn matching_recode(&self, net: &mut Network, n: NodeId) -> RecodeOutcome {
+    /// `1n ∪ 2n ∪ {n}` via maximum-weight matching. Called with the
+    /// event's [`TopologyDelta`]; the recode set comes straight out of
+    /// the delta's neighbor lists — no graph traversal re-derives it.
+    /// `n` may or may not hold an old color.
+    fn matching_recode(&self, net: &mut Network, delta: &TopologyDelta) -> RecodeOutcome {
+        let n = delta.node();
         let before = net.snapshot_assignment();
-        let set = net.recode_set(n); // sorted, includes n
+        let set = delta.recode_set(); // sorted, includes n
 
         // Fast path (the common case in dense networks): if the old
         // colors across the whole set — `n` included when it holds one
@@ -91,16 +96,18 @@ impl Minim {
                 Some(c) => {
                     if !n_constraints.contains(&c) {
                         // Nothing clashes: zero recodings.
-                        debug_assert!(net.validate().is_ok(), "Minim fast path invalid");
-                        return RecodeOutcome::from_diff(net, &before);
+                        let outcome = RecodeOutcome::from_diff(net, &before);
+                        debug_assert_locally_valid(net, delta, &outcome);
+                        return outcome;
                     }
                     // External clash: full matching below.
                 }
                 None => {
                     let c = Color::lowest_excluding(n_constraints);
                     net.assignment_mut().set(n, c);
-                    debug_assert!(net.validate().is_ok(), "Minim fast path invalid");
-                    return RecodeOutcome::from_diff(net, &before);
+                    let outcome = RecodeOutcome::from_diff(net, &before);
+                    debug_assert_locally_valid(net, delta, &outcome);
+                    return outcome;
                 }
             }
         }
@@ -110,8 +117,9 @@ impl Minim {
         for (i, &u) in set.iter().enumerate() {
             net.assignment_mut().set(u, plan[i]);
         }
-        debug_assert!(net.validate().is_ok(), "Minim produced an invalid assignment");
-        RecodeOutcome::from_diff(net, &before)
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        debug_assert_locally_valid(net, delta, &outcome);
+        outcome
     }
 }
 
@@ -123,10 +131,7 @@ impl Minim {
 /// Exposed so the distributed protocol layer (`minim-proto`) can
 /// cross-check the inputs it reconstructs from messages against the
 /// global-state view.
-pub fn gather_recode_inputs(
-    net: &Network,
-    set: &[NodeId],
-) -> (Vec<Option<Color>>, Vec<Vec<u32>>) {
+pub fn gather_recode_inputs(net: &Network, set: &[NodeId]) -> (Vec<Option<Color>>, Vec<Vec<u32>>) {
     let mut old = Vec::with_capacity(set.len());
     let mut forbidden = Vec::with_capacity(set.len());
     for &u in set {
@@ -212,7 +217,10 @@ pub fn plan_recode(old: &[Option<Color>], forbidden: &[Vec<u32>], keep_weight: i
         max = max.max(c.index());
     }
     for f in forbidden {
-        debug_assert!(f.windows(2).all(|w| w[0] < w[1]), "forbidden must be sorted+dedup");
+        debug_assert!(
+            f.windows(2).all(|w| w[0] < w[1]),
+            "forbidden must be sorted+dedup"
+        );
         if let Some(&m) = f.last() {
             max = max.max(m);
         }
@@ -248,53 +256,71 @@ impl RecodingStrategy for Minim {
     }
 
     /// `RecodeOnJoin` (Fig 3 of the paper).
-    fn on_join(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> RecodeOutcome {
-        net.insert_node(id, cfg);
-        self.matching_recode(net, id)
+    fn on_join_delta(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> EventEffect {
+        let delta = net.insert_node(id, cfg);
+        let outcome = self.matching_recode(net, &delta);
+        EventEffect { delta, outcome }
     }
 
     /// `RecodeDecreasePowOrLeave`: passive — a leave removes
     /// constraints only, so the old assignment stays valid (§4.3).
-    fn on_leave(&mut self, net: &mut Network, id: NodeId) -> RecodeOutcome {
+    fn on_leave_delta(&mut self, net: &mut Network, id: NodeId) -> EventEffect {
         let before = net.snapshot_assignment();
-        net.remove_node(id);
-        debug_assert!(net.validate().is_ok());
-        RecodeOutcome::from_diff(net, &before)
+        let delta = net.remove_node(id);
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        debug_assert_locally_valid(net, &delta, &outcome);
+        EventEffect { delta, outcome }
     }
 
     /// `RecodeOnMove` (Fig 8): identical machinery to the join, except
     /// the mover still holds an old color (its keep-edge weighs
     /// `keep_weight` like everyone else's).
-    fn on_move(&mut self, net: &mut Network, id: NodeId, to: Point) -> RecodeOutcome {
-        net.move_node(id, to);
-        self.matching_recode(net, id)
+    fn on_move_delta(&mut self, net: &mut Network, id: NodeId, to: Point) -> EventEffect {
+        let delta = net.move_node(id, to);
+        let outcome = self.matching_recode(net, &delta);
+        EventEffect { delta, outcome }
     }
 
     /// `RecodeOnPowIncrease` (Fig 5) for increases; passive for
     /// decreases (§4.3).
-    fn on_set_range(&mut self, net: &mut Network, id: NodeId, range: f64) -> RecodeOutcome {
+    fn on_set_range_delta(&mut self, net: &mut Network, id: NodeId, range: f64) -> EventEffect {
         let dir = range_direction(net, id, range);
         let before = net.snapshot_assignment();
-        net.set_range(id, range);
+        let delta = net.set_range(id, range);
         match dir {
             PowerDirection::Increase => {
-                // All new constraints involve `id`; recode it iff its
-                // current color now clashes.
-                let constraints = conflict::constraint_colors(net.graph(), net.assignment(), id);
+                // All new constraints involve `id` and stem from the
+                // delta's added out-edges (§4.2): a clash is possible
+                // only at a *new* receiver — against the receiver
+                // itself (CA1) or a co-transmitter into it (CA2).
+                // Scanning those is O(Δ·deg); the pre-event state is
+                // valid by the inductive contract, so old constraints
+                // cannot clash.
                 let current = net.assignment().get(id);
                 let clash = match current {
-                    Some(c) => constraints.contains(&c),
+                    Some(c) => delta.new_receivers().any(|w| {
+                        net.assignment().get(w) == Some(c)
+                            || net
+                                .graph()
+                                .in_neighbors(w)
+                                .iter()
+                                .any(|&x| x != id && net.assignment().get(x) == Some(c))
+                    }),
                     None => true,
                 };
                 if clash {
+                    // Repick against the full (old ∪ new) constraints.
+                    let constraints =
+                        conflict::constraint_colors(net.graph(), net.assignment(), id);
                     let c = Color::lowest_excluding(constraints);
                     net.assignment_mut().set(id, c);
                 }
             }
             PowerDirection::Decrease | PowerDirection::Unchanged => {}
         }
-        debug_assert!(net.validate().is_ok());
-        RecodeOutcome::from_diff(net, &before)
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        debug_assert_locally_valid(net, &delta, &outcome);
+        EventEffect { delta, outcome }
     }
 }
 
@@ -368,10 +394,10 @@ mod tests {
                 sample::uniform_range(&mut rng, 20.5, 30.5),
             );
             let id = net.next_id();
-            net.insert_node(id, cfg);
+            let delta = net.insert_node(id, cfg);
             let bound = bounds::minimal_bound_join(&net, id);
             // Re-run the recode on the already-inserted topology.
-            let out = m.matching_recode(&mut net, id);
+            let out = m.matching_recode(&mut net, &delta);
             assert_eq!(
                 out.recodings(),
                 bound,
@@ -394,9 +420,9 @@ mod tests {
                 40.0,
                 &Rect::paper_arena(),
             );
-            net.move_node(victim, to);
+            let delta = net.move_node(victim, to);
             let bound = bounds::minimal_bound_move(&net, victim);
-            let out = m.matching_recode(&mut net, victim);
+            let out = m.matching_recode(&mut net, &delta);
             assert_eq!(
                 out.recodings(),
                 bound,
@@ -485,11 +511,11 @@ mod tests {
             // with the old color remembered.
             let mut net_b = net0.clone();
             m.on_leave(&mut net_b, victim);
-            net_b.insert_node(victim, NodeConfig::new(to, cfg.range));
+            let delta = net_b.insert_node(victim, NodeConfig::new(to, cfg.range));
             if let Some(c) = old_color {
                 net_b.assignment_mut().set(victim, c);
             }
-            m.matching_recode(&mut net_b, victim);
+            m.matching_recode(&mut net_b, &delta);
             assert!(net_b.validate().is_ok());
 
             assert_eq!(
@@ -534,7 +560,10 @@ mod tests {
                     m.on_set_range(&mut net, victim, r * factor);
                 }
             }
-            assert!(net.validate().is_ok(), "step {step} invalidated the network");
+            assert!(
+                net.validate().is_ok(),
+                "step {step} invalidated the network"
+            );
         }
         net.check_topology();
     }

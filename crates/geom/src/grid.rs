@@ -189,7 +189,10 @@ mod tests {
         let mut g = SpatialGrid::new(10.0);
         assert!(g.is_empty());
         assert!(g.insert(7, Point::new(1.0, 2.0)));
-        assert!(!g.insert(7, Point::new(3.0, 4.0)), "duplicate insert must fail");
+        assert!(
+            !g.insert(7, Point::new(3.0, 4.0)),
+            "duplicate insert must fail"
+        );
         assert_eq!(g.len(), 1);
         assert_eq!(g.position(7), Some(Point::new(1.0, 2.0)));
         assert_eq!(g.remove(7), Some(Point::new(1.0, 2.0)));

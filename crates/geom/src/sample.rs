@@ -43,13 +43,11 @@ pub fn uniform_range<R: Rng + ?Sized>(rng: &mut R, minr: f64, maxr: f64) -> f64 
 
 /// Samples the §5.3 random displacement: uniform direction, length
 /// uniform over `[0, maxdisp]`, clamped back into `arena`.
-pub fn random_move<R: Rng + ?Sized>(
-    rng: &mut R,
-    from: Point,
-    maxdisp: f64,
-    arena: &Rect,
-) -> Point {
-    assert!(maxdisp >= 0.0, "maxdisp must be non-negative, got {maxdisp}");
+pub fn random_move<R: Rng + ?Sized>(rng: &mut R, from: Point, maxdisp: f64, arena: &Rect) -> Point {
+    assert!(
+        maxdisp >= 0.0,
+        "maxdisp must be non-negative, got {maxdisp}"
+    );
     let angle = rng.gen_range(0.0..std::f64::consts::TAU);
     let disp = rng.gen_range(0.0..=maxdisp);
     arena.clamp(from.displaced(angle, disp))
@@ -63,8 +61,7 @@ pub fn random_move<R: Rng + ?Sized>(
 /// bit-identical either way. SplitMix64 finalizer — cheap and well
 /// mixed.
 pub fn child_seed(base: u64, index: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

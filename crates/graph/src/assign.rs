@@ -221,10 +221,7 @@ mod tests {
             .collect();
         assert_eq!(after.recodings_since(&before), 2);
         let detail = after.recoded_nodes(&before);
-        assert_eq!(
-            detail,
-            vec![(n(2), Some(c(2)), c(5)), (n(4), None, c(2))]
-        );
+        assert_eq!(detail, vec![(n(2), Some(c(2)), c(5)), (n(4), None, c(2))]);
     }
 
     #[test]

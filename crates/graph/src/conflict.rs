@@ -93,6 +93,98 @@ pub fn validate(g: &DiGraph, a: &Assignment) -> Result<(), Violation> {
     Ok(())
 }
 
+/// Checks CA1 and CA2 **locally**, around a set of seed nodes — the
+/// `O(affected neighborhood)` counterpart of [`validate`].
+///
+/// `seeds` must cover the event's *initiating node* (the one whose
+/// edges changed — `minim-net`'s `TopologyDelta::node`) plus every
+/// node whose color changed. That is all: the single-node
+/// reconfigurations of the model (§2: join/leave/move/power change)
+/// only add edges incident to the initiator, so the seed set stays
+/// `O(recode set)` regardless of degree. Absent ids are skipped, so a
+/// remove delta's vanished node needs no special-casing.
+///
+/// **Soundness** (why seed-local checking suffices): assume the
+/// network satisfied CA1/CA2 before the event. A violation involves
+/// either an edge (CA1) or a two-edge path into a shared receiver
+/// (CA2). Any *new* violation must involve a new edge (incident to
+/// the initiator) or a recolored node — i.e. some seed `s` appears in
+/// it as the edge's endpoint, a colliding transmitter, or the shared
+/// receiver. Removed edges only remove constraints. Hence checking,
+/// for every seed `s`,
+///
+/// 1. `s` is colored,
+/// 2. CA1 across every edge incident to `s`,
+/// 3. CA2 for every pair `{s, x}` transmitting into a common receiver
+///    (`s` as one of the colliding transmitters),
+/// 4. CA2 for every pair of transmitters into `s` (`s` as the shared
+///    receiver — this is what a new in-edge `u → s` can violate),
+///
+/// examines a superset of all possibly-new violations. Cost is
+/// `O(Σ_s (Σ_{w ∈ out(s)} deg_in(w) + deg_in(s)²))` — the seeds'
+/// 2-hop neighborhood — versus [`validate`]'s same-shaped scan over
+/// **every** node of the graph.
+///
+/// On an invalid *pre*-state the verdict is only guaranteed for
+/// violations visible from the seeds; the full [`validate`] remains
+/// the from-scratch oracle (and the property tests in
+/// `tests/delta_equivalence.rs` pin the two to identical verdicts on
+/// the event path).
+pub fn validate_delta(g: &DiGraph, a: &Assignment, seeds: &[NodeId]) -> Result<(), Violation> {
+    let mut seen: Vec<(Color, NodeId)> = Vec::new();
+    for &s in seeds {
+        if !g.contains(s) {
+            continue; // the seed itself left the network
+        }
+        let Some(cs) = a.get(s) else {
+            return Err(Violation::Uncolored(s));
+        };
+        // CA1 over out-edges of s; CA2 pairs {s, x} at each receiver
+        // s transmits into.
+        for &w in g.out_neighbors(s) {
+            let Some(cw) = a.get(w) else {
+                return Err(Violation::Uncolored(w));
+            };
+            if cw == cs {
+                return Err(Violation::Primary { from: s, to: w });
+            }
+            for &x in g.in_neighbors(w) {
+                if x == s {
+                    continue;
+                }
+                if a.get(x) == Some(cs) {
+                    return Err(Violation::Hidden {
+                        a: s.min(x),
+                        b: s.max(x),
+                        via: w,
+                    });
+                }
+            }
+        }
+        // CA1 over in-edges of s, and CA2 with s as the shared
+        // receiver: all transmitters into s must be pairwise distinct
+        // (the same seen-list scan `validate` does per node).
+        seen.clear();
+        for &u in g.in_neighbors(s) {
+            let Some(cu) = a.get(u) else {
+                return Err(Violation::Uncolored(u));
+            };
+            if cu == cs {
+                return Err(Violation::Primary { from: u, to: s });
+            }
+            if let Some(&(_, prev)) = seen.iter().find(|&&(c, _)| c == cu) {
+                return Err(Violation::Hidden {
+                    a: prev.min(u),
+                    b: prev.max(u),
+                    via: s,
+                });
+            }
+            seen.push((cu, u));
+        }
+    }
+    Ok(())
+}
+
 /// Collects **all** violations instead of stopping at the first.
 /// Used by tests and by the failure-injection harness.
 pub fn violations(g: &DiGraph, a: &Assignment) -> Vec<Violation> {
@@ -336,7 +428,10 @@ mod tests {
         let a: Assignment = [(n(1), c(1)), (n(2), c(1)), (n(3), c(2))]
             .into_iter()
             .collect();
-        assert!(validate(&g, &a).is_ok(), "common receiver color reuse is legal");
+        assert!(
+            validate(&g, &a).is_ok(),
+            "common receiver color reuse is legal"
+        );
     }
 
     #[test]
@@ -366,6 +461,98 @@ mod tests {
         assert_eq!(ug.edge_count(), 4);
     }
 
+    #[test]
+    fn validate_delta_finds_seed_local_violations() {
+        let g = hidden_terminal_graph();
+        // Hidden collision 1/2 at 3.
+        let a: Assignment = [(n(1), c(1)), (n(2), c(1)), (n(3), c(2)), (n(4), c(3))]
+            .into_iter()
+            .collect();
+        // Visible from either colliding transmitter (rule 3) and from
+        // the shared receiver (rule 4) — so seeding just the node that
+        // gained the in-edge catches the hidden-terminal case.
+        for seed in [1, 2, 3] {
+            assert_eq!(
+                validate_delta(&g, &a, &[n(seed)]),
+                Err(Violation::Hidden {
+                    a: n(1),
+                    b: n(2),
+                    via: n(3)
+                }),
+                "seed {seed}"
+            );
+        }
+        // Node 4 is two hops from the collision and uninvolved: its
+        // local check passes, as the contract promises (it only audits
+        // constraints the seed participates in).
+        assert!(validate_delta(&g, &a, &[n(4)]).is_ok());
+    }
+
+    #[test]
+    fn validate_delta_skips_absent_seeds_and_checks_colors() {
+        let g = hidden_terminal_graph();
+        let a: Assignment = [(n(1), c(1)), (n(2), c(2)), (n(3), c(3)), (n(4), c(1))]
+            .into_iter()
+            .collect();
+        assert!(validate_delta(&g, &a, &[n(99), n(1), n(3)]).is_ok());
+        let partial: Assignment = [(n(1), c(1))].into_iter().collect();
+        assert_eq!(
+            validate_delta(&g, &partial, &[n(3)]),
+            Err(Violation::Uncolored(n(3)))
+        );
+        assert_eq!(
+            validate_delta(&g, &partial, &[n(1)]),
+            Err(Violation::Uncolored(n(3))),
+            "a seed's uncolored partner is reported"
+        );
+    }
+
+    /// Seeding both endpoints of every changed edge makes the local
+    /// check agree with the global one on random single-edge edits of
+    /// random colored digraphs — the delta contract in miniature.
+    #[test]
+    fn validate_delta_agrees_with_full_on_random_edge_insertions() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..300 {
+            let k = rng.gen_range(3..10u32);
+            let mut g = DiGraph::new();
+            for i in 0..k {
+                g.insert_node(n(i));
+            }
+            for u in 0..k {
+                for v in 0..k {
+                    if u != v && rng.gen_bool(0.2) {
+                        g.add_edge(n(u), n(v));
+                    }
+                }
+            }
+            let a: Assignment = (0..k).map(|i| (n(i), c(rng.gen_range(1..5)))).collect();
+            // Pick a random *present* edge as "the newly added one" and
+            // only keep iterations where the rest of the graph minus
+            // that edge is valid (so the precondition of the local
+            // check holds).
+            let edges: Vec<_> = g.edges().collect();
+            if edges.is_empty() {
+                continue;
+            }
+            let (u, v) = edges[rng.gen_range(0..edges.len())];
+            g.remove_edge(u, v);
+            if validate(&g, &a).is_err() {
+                continue;
+            }
+            g.add_edge(u, v);
+            let local = validate_delta(&g, &a, &[u, v]);
+            let full = validate(&g, &a);
+            assert_eq!(
+                local.is_ok(),
+                full.is_ok(),
+                "edge {u}→{v}: local {local:?} vs full {full:?}"
+            );
+        }
+    }
+
     /// A coloring of the conflict graph is proper iff `validate` accepts
     /// it — the two formulations must agree.
     #[test]
@@ -387,13 +574,9 @@ mod tests {
                 }
             }
             // Random coloring with 1..=4.
-            let a: Assignment = (0..8)
-                .map(|i| (n(i), c(rng.gen_range(1..=4))))
-                .collect();
+            let a: Assignment = (0..8).map(|i| (n(i), c(rng.gen_range(1..=4)))).collect();
             let (ug, ids) = conflict_graph(&g);
-            let proper = ug.edges().all(|(i, j)| {
-                a.get(ids[i]) != a.get(ids[j])
-            });
+            let proper = ug.edges().all(|(i, j)| a.get(ids[i]) != a.get(ids[j]));
             assert_eq!(validate(&g, &a).is_ok(), proper);
         }
     }

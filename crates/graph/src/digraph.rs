@@ -171,9 +171,7 @@ impl DiGraph {
     /// Whether edge `u → v` exists.
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.contains(u)
-            && self.contains(v)
-            && self.slots[u.index()].out.binary_search(&v).is_ok()
+        self.contains(u) && self.contains(v) && self.slots[u.index()].out.binary_search(&v).is_ok()
     }
 
     /// Out-neighbors of `n` (`n → x`), sorted ascending.

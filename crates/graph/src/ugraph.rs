@@ -64,7 +64,10 @@ impl UGraph {
     /// Panics on out-of-range vertices or self-loops.
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
         assert!(u != v, "self-loop {u}");
-        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "vertex out of range"
+        );
         match self.adj[u].binary_search(&v) {
             Ok(_) => false,
             Err(i) => {
@@ -160,7 +163,12 @@ impl UGraph {
         }
         let mut best = 0;
         let mut clique = Vec::new();
-        extend(self, &mut clique, (0..self.vertex_count()).collect(), &mut best);
+        extend(
+            self,
+            &mut clique,
+            (0..self.vertex_count()).collect(),
+            &mut best,
+        );
         best
     }
 }

@@ -143,7 +143,10 @@ impl Matching {
             }
         }
         if w != self.weight {
-            return Err(format!("weight mismatch: recorded {} actual {w}", self.weight));
+            return Err(format!(
+                "weight mismatch: recorded {} actual {w}",
+                self.weight
+            ));
         }
         Ok(())
     }

@@ -154,9 +154,18 @@ mod tests {
     fn power_direction_classification() {
         let mut net = Network::new(5.0);
         let id = net.join(NodeConfig::new(Point::new(0.0, 0.0), 5.0));
-        let up = Event::SetRange { node: id, range: 9.0 };
-        let down = Event::SetRange { node: id, range: 2.0 };
-        let same = Event::SetRange { node: id, range: 5.0 };
+        let up = Event::SetRange {
+            node: id,
+            range: 9.0,
+        };
+        let down = Event::SetRange {
+            node: id,
+            range: 2.0,
+        };
+        let same = Event::SetRange {
+            node: id,
+            range: 5.0,
+        };
         assert_eq!(up.power_direction(&net), Some(PowerDirection::Increase));
         assert_eq!(down.power_direction(&net), Some(PowerDirection::Decrease));
         assert_eq!(same.power_direction(&net), Some(PowerDirection::Unchanged));

@@ -16,14 +16,27 @@
 //!   rather than `O(n)`,
 //! * the current code [`Assignment`].
 //!
+//! Every mutating operation ([`Network::insert_node`],
+//! [`Network::remove_node`], [`Network::move_node`],
+//! [`Network::set_range`], [`Network::add_obstacle`]) returns a
+//! [`TopologyDelta`] — the exact added/removed digraph edges and the
+//! initiating node's resulting neighborhood — so the layers above
+//! (validation, recoding strategies, the simulator, the distributed
+//! protocols) do `O(affected neighborhood)` work per event instead of
+//! re-deriving state from the full graph. See the [`delta`] module
+//! docs for the contract.
+//!
 //! [`event::Event`] reifies the four reconfiguration types;
 //! [`workload`] generates the randomized event sequences of §5.
 
+pub mod delta;
 pub mod event;
 pub mod mobility;
 pub mod stats;
 pub mod trace;
 pub mod workload;
+
+pub use delta::{DeltaKind, TopologyDelta};
 
 use minim_geom::segment::line_of_sight_blocked;
 use minim_geom::{Point, Rect, Segment, SpatialGrid};
@@ -83,6 +96,37 @@ impl JoinPartitions {
         v.sort_unstable();
         v
     }
+
+    /// Classifies a node's neighborhood from its sorted in- and
+    /// out-neighbor lists — one merge pass, no graph access. This is
+    /// how both [`Network::partitions`] and
+    /// [`TopologyDelta::partitions`] compute the Fig 2 partition.
+    pub fn from_sorted_neighbors(inn: &[NodeId], out: &[NodeId]) -> JoinPartitions {
+        debug_assert!(inn.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        let mut p = JoinPartitions::default();
+        let (mut i, mut j) = (0, 0);
+        while i < inn.len() && j < out.len() {
+            match inn[i].cmp(&out[j]) {
+                std::cmp::Ordering::Less => {
+                    p.one.push(inn[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    p.three.push(out[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    p.two.push(inn[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        p.one.extend_from_slice(&inn[i..]);
+        p.three.extend_from_slice(&out[j..]);
+        p
+    }
 }
 
 /// A power-controlled ad-hoc network with its induced digraph and the
@@ -122,12 +166,21 @@ impl Network {
     /// Adds an opaque wall (§2's non-free-space generalization) and
     /// rewires every node's links. Obstacles only *remove* edges, i.e.
     /// only remove constraints, so a valid assignment stays valid.
-    pub fn add_obstacle(&mut self, wall: Segment) {
+    ///
+    /// Returns one [`TopologyDelta`] per node whose link set actually
+    /// changed (each edge appears in exactly one delta: the first
+    /// rewire that severed it).
+    pub fn add_obstacle(&mut self, wall: Segment) -> Vec<TopologyDelta> {
         self.obstacles.push(wall);
         let ids = self.node_ids();
+        let mut deltas = Vec::new();
         for id in ids {
-            self.rewire(id);
+            let delta = self.rewire(id, DeltaKind::Rewire);
+            if !delta.is_edge_noop() {
+                deltas.push(delta);
+            }
         }
+        deltas
     }
 
     /// The installed obstacles.
@@ -179,9 +232,19 @@ impl Network {
         self.graph.contains(id)
     }
 
-    /// Present node ids, ascending.
+    /// Present node ids, ascending, as a freshly allocated `Vec`.
+    ///
+    /// Prefer [`Network::iter_nodes`] in hot loops — it borrows instead
+    /// of allocating. This form remains for callers that need to hold
+    /// the ids across mutations.
     pub fn node_ids(&self) -> Vec<NodeId> {
         self.graph.nodes().collect()
+    }
+
+    /// Borrowing iterator over present node ids, ascending. Allocation
+    /// free — the hot-loop replacement for [`Network::node_ids`].
+    pub fn iter_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
     }
 
     /// Validates CA1/CA2 on the current graph and assignment.
@@ -193,57 +256,95 @@ impl Network {
     /// induced edges in both directions. The node starts **uncolored**;
     /// the recoding strategy must assign it a code.
     ///
+    /// Returns the [`TopologyDelta`] of the insertion: every new edge
+    /// (all incident to `id`) plus `id`'s resulting neighbor lists —
+    /// from which the recode set `1n ∪ 2n ∪ {n}` follows without
+    /// another graph traversal.
+    ///
     /// # Panics
     /// Panics if `id` already exists.
-    pub fn insert_node(&mut self, id: NodeId, cfg: NodeConfig) {
-        assert!(!self.graph.contains(id), "insert_node: {id} already present");
+    pub fn insert_node(&mut self, id: NodeId, cfg: NodeConfig) -> TopologyDelta {
+        assert!(
+            !self.graph.contains(id),
+            "insert_node: {id} already present"
+        );
         self.graph.insert_node(id);
         self.configs.insert(id, cfg);
         self.next_id = self.next_id.max(id.0 + 1);
         self.max_range_bound = self.max_range_bound.max(cfg.range);
         self.grid.insert(id.0, cfg.pos);
-        self.rewire(id);
+        self.rewire(id, DeltaKind::Insert)
     }
 
     /// Convenience: insert at a fresh id. Returns the id.
     pub fn join(&mut self, cfg: NodeConfig) -> NodeId {
+        self.join_delta(cfg).0
+    }
+
+    /// Inserts at a fresh id, returning both the id and the insertion's
+    /// [`TopologyDelta`].
+    pub fn join_delta(&mut self, cfg: NodeConfig) -> (NodeId, TopologyDelta) {
         let id = self.next_id();
-        self.insert_node(id, cfg);
-        id
+        let delta = self.insert_node(id, cfg);
+        (id, delta)
     }
 
     /// Removes node `id`, its edges, and its color.
     ///
+    /// Returns the [`TopologyDelta`] listing every severed edge. A
+    /// removal only *removes* constraints (§4.3: `RecodeDecreasePow-
+    /// OrLeave` is passive), so consumers need the delta for cache
+    /// invalidation and accounting, never for recoding.
+    ///
     /// # Panics
     /// Panics if `id` is absent.
-    pub fn remove_node(&mut self, id: NodeId) {
+    pub fn remove_node(&mut self, id: NodeId) -> TopologyDelta {
         assert!(self.graph.contains(id), "remove_node: missing {id}");
+        let mut removed: Vec<(NodeId, NodeId)> = self
+            .graph
+            .out_neighbors(id)
+            .iter()
+            .map(|&v| (id, v))
+            .collect();
+        removed.extend(self.graph.in_neighbors(id).iter().map(|&u| (u, id)));
         self.graph.remove_node(id);
         self.configs.remove(&id);
         self.grid.remove(id.0);
         self.assignment.unset(id);
+        TopologyDelta::new(
+            DeltaKind::Remove,
+            id,
+            Vec::new(),
+            removed,
+            Vec::new(),
+            Vec::new(),
+        )
     }
 
     /// Moves node `id` to `to` and recomputes its incident edges. The
     /// node keeps its (possibly now-conflicting) color; the strategy
-    /// decides what to recode.
+    /// decides what to recode from the returned [`TopologyDelta`].
     ///
     /// # Panics
     /// Panics if `id` is absent.
-    pub fn move_node(&mut self, id: NodeId, to: Point) {
+    pub fn move_node(&mut self, id: NodeId, to: Point) -> TopologyDelta {
         let cfg = self.configs.get_mut(&id).expect("move_node: missing node");
         cfg.pos = to;
         self.grid.relocate(id.0, to);
-        self.rewire(id);
+        self.rewire(id, DeltaKind::Move)
     }
 
     /// Sets node `id`'s transmission range. Only *out*-edges of `id`
     /// change (who `id` can reach); in-edges depend on the other nodes'
     /// ranges and are untouched.
     ///
+    /// The returned [`TopologyDelta`]'s added edges all leave `id` —
+    /// exactly the new constraints a power increase creates (§4.2), so
+    /// strategies recode from the delta without diffing conflict sets.
+    ///
     /// # Panics
     /// Panics if `id` is absent or the range is invalid.
-    pub fn set_range(&mut self, id: NodeId, range: f64) {
+    pub fn set_range(&mut self, id: NodeId, range: f64) -> TopologyDelta {
         assert!(
             range.is_finite() && range >= 0.0,
             "range must be finite and non-negative, got {range}"
@@ -254,7 +355,7 @@ impl Network {
         let pos = cfg.pos;
         // Recompute out-edges from scratch.
         let old_out: Vec<NodeId> = self.graph.out_neighbors(id).to_vec();
-        for v in old_out {
+        for &v in &old_out {
             self.graph.remove_edge(id, v);
         }
         let mut targets = Vec::new();
@@ -263,24 +364,32 @@ impl Network {
                 targets.push(NodeId(other));
             }
         });
-        for v in targets {
+        for &v in &targets {
             self.graph.add_edge(id, v);
         }
+        targets.sort_unstable();
+        let (added, removed) = diff_sorted_out(id, &old_out, &targets);
+        let in_after = self.graph.in_neighbors(id).to_vec();
+        TopologyDelta::new(DeltaKind::SetRange, id, added, removed, targets, in_after)
     }
 
     /// Recomputes **all** edges incident to `id` (both directions) from
-    /// the geometry. Used on insert and move.
-    fn rewire(&mut self, id: NodeId) {
+    /// the geometry, returning the exact edge delta. Used on insert,
+    /// move, and obstacle installation.
+    fn rewire(&mut self, id: NodeId, kind: DeltaKind) -> TopologyDelta {
         let cfg = self.configs[&id];
+        let old_out: Vec<NodeId> = self.graph.out_neighbors(id).to_vec();
+        let old_in: Vec<NodeId> = self.graph.in_neighbors(id).to_vec();
         self.graph.clear_node_edges(id);
         // Out-edges: nodes within our range and line of sight.
         let mut out = Vec::new();
-        self.grid.for_each_within(&cfg.pos, cfg.range, |other, opos| {
-            if other != id.0 && !line_of_sight_blocked(&self.obstacles, &cfg.pos, &opos) {
-                out.push(NodeId(other));
-            }
-        });
-        for v in out {
+        self.grid
+            .for_each_within(&cfg.pos, cfg.range, |other, opos| {
+                if other != id.0 && !line_of_sight_blocked(&self.obstacles, &cfg.pos, &opos) {
+                    out.push(NodeId(other));
+                }
+            });
+        for &v in &out {
             self.graph.add_edge(id, v);
         }
         // In-edges: nodes whose own range covers us. Query with the
@@ -299,41 +408,32 @@ impl Network {
                     inn.push(u);
                 }
             });
-        for u in inn {
+        for &u in &inn {
             self.graph.add_edge(u, id);
         }
+        out.sort_unstable();
+        inn.sort_unstable();
+        let (mut added, mut removed) = diff_sorted_out(id, &old_out, &out);
+        let (added_in, removed_in) = diff_sorted_in(id, &old_in, &inn);
+        added.extend(added_in);
+        removed.extend(removed_in);
+        TopologyDelta::new(kind, id, added, removed, out, inn)
     }
 
     /// The Fig 2 partition of the existing nodes around `n`.
     ///
+    /// Event handlers should prefer [`TopologyDelta::partitions`] —
+    /// the delta already carries the neighborhood, so this graph read
+    /// is redundant on the event path. This accessor remains for
+    /// analysis of standing networks (bounds, traces, tests).
+    ///
     /// # Panics
     /// Panics if `n` is absent.
     pub fn partitions(&self, n: NodeId) -> JoinPartitions {
-        let out = self.graph.out_neighbors(n);
-        let inn = self.graph.in_neighbors(n);
-        let mut p = JoinPartitions::default();
-        // Both lists are sorted: single merge pass.
-        let (mut i, mut j) = (0, 0);
-        while i < inn.len() && j < out.len() {
-            match inn[i].cmp(&out[j]) {
-                std::cmp::Ordering::Less => {
-                    p.one.push(inn[i]);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    p.three.push(out[j]);
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    p.two.push(inn[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        p.one.extend_from_slice(&inn[i..]);
-        p.three.extend_from_slice(&out[j..]);
-        p
+        JoinPartitions::from_sorted_neighbors(
+            self.graph.in_neighbors(n),
+            self.graph.out_neighbors(n),
+        )
     }
 
     /// The recode set of a join/move at `n`: `1n ∪ 2n ∪ {n}`, sorted.
@@ -405,6 +505,58 @@ impl Network {
             .collect();
         v.sort_by_key(|&(id, ..)| id);
         v
+    }
+}
+
+/// A list of directed edges, as a delta stores them.
+type EdgeList = Vec<(NodeId, NodeId)>;
+
+/// Diffs two sorted out-neighbor lists of `id` into added/removed
+/// directed edge sets (`id → v`).
+fn diff_sorted_out(id: NodeId, old: &[NodeId], new: &[NodeId]) -> (EdgeList, EdgeList) {
+    let (mut added, mut removed) = (Vec::new(), Vec::new());
+    diff_sorted(old, new, |v| removed.push((id, v)), |v| added.push((id, v)));
+    (added, removed)
+}
+
+/// Diffs two sorted in-neighbor lists of `id` into added/removed
+/// directed edge sets (`u → id`).
+fn diff_sorted_in(id: NodeId, old: &[NodeId], new: &[NodeId]) -> (EdgeList, EdgeList) {
+    let (mut added, mut removed) = (Vec::new(), Vec::new());
+    diff_sorted(old, new, |u| removed.push((u, id)), |u| added.push((u, id)));
+    (added, removed)
+}
+
+/// Single merge pass over two sorted id lists, calling `on_old_only`
+/// for ids that disappeared and `on_new_only` for ids that appeared.
+fn diff_sorted(
+    old: &[NodeId],
+    new: &[NodeId],
+    mut on_old_only: impl FnMut(NodeId),
+    mut on_new_only: impl FnMut(NodeId),
+) {
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < new.len() {
+        match old[i].cmp(&new[j]) {
+            std::cmp::Ordering::Less => {
+                on_old_only(old[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                on_new_only(new[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &v in &old[i..] {
+        on_old_only(v);
+    }
+    for &v in &new[j..] {
+        on_new_only(v);
     }
 }
 
@@ -620,9 +772,124 @@ mod tests {
         let b = net.join(NodeConfig::new(Point::new(10.0, 0.0), 3.0));
         net.add_obstacle(Segment::new(Point::new(5.0, -5.0), Point::new(5.0, 5.0)));
         net.set_range(a, 20.0);
-        assert!(!net.graph().has_edge(a, b), "boost cannot punch through walls");
+        assert!(
+            !net.graph().has_edge(a, b),
+            "boost cannot punch through walls"
+        );
         net.check_topology();
         let _ = b;
+    }
+
+    #[test]
+    fn insert_delta_lists_every_new_edge_and_neighborhood() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 10.0));
+        let b = net.join(NodeConfig::new(Point::new(12.0, 0.0), 20.0));
+        // c lands between them, within range of both: every incident
+        // edge (c ↔ a at dist 6, c ↔ b at dist 6) wires both ways.
+        let c = net.next_id();
+        let d = net.insert_node(c, NodeConfig::new(Point::new(6.0, 0.0), 8.0));
+        assert_eq!(d.kind(), DeltaKind::Insert);
+        assert_eq!(d.node(), c);
+        assert!(d.removed.is_empty(), "an insert only adds edges");
+        // Every added edge exists and touches c.
+        for &(u, v) in &d.added {
+            assert!(net.graph().has_edge(u, v));
+            assert!(u == c || v == c);
+        }
+        assert_eq!(
+            d.added.len(),
+            net.graph().out_degree(c) + net.graph().in_degree(c)
+        );
+        assert_eq!(d.out_after, net.graph().out_neighbors(c));
+        assert_eq!(d.in_after, net.graph().in_neighbors(c));
+        assert_eq!(d.partitions(), net.partitions(c));
+        assert_eq!(d.recode_set(), net.recode_set(c));
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn remove_delta_lists_every_severed_edge() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 10.0));
+        let b = net.join(NodeConfig::new(Point::new(6.0, 0.0), 4.0));
+        let c = net.join(NodeConfig::new(Point::new(3.0, 0.0), 10.0));
+        let before: Vec<_> = net.graph().edges().collect();
+        let d = net.remove_node(c);
+        assert_eq!(d.kind(), DeltaKind::Remove);
+        assert!(d.added.is_empty());
+        assert!(d.out_after.is_empty() && d.in_after.is_empty());
+        let after: Vec<_> = net.graph().edges().collect();
+        let mut expected: Vec<_> = before.into_iter().filter(|e| !after.contains(e)).collect();
+        expected.sort_unstable();
+        assert_eq!(d.removed, expected);
+        assert!(d.touched().contains(&a) && d.touched().contains(&c));
+        let _ = b;
+    }
+
+    #[test]
+    fn move_delta_diffs_old_and_new_neighborhoods() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 8.0));
+        let b = net.join(NodeConfig::new(Point::new(30.0, 0.0), 8.0));
+        let c = net.join(NodeConfig::new(Point::new(5.0, 0.0), 8.0));
+        // c currently links with a; moving near b swaps the neighborhood.
+        let d = net.move_node(c, Point::new(27.0, 0.0));
+        assert_eq!(d.kind(), DeltaKind::Move);
+        assert_eq!(d.removed, vec![(a, c), (c, a)]);
+        assert_eq!(d.added, vec![(b, c), (c, b)]);
+        assert_eq!(d.touched(), vec![a, b, c]);
+        assert_eq!(d.out_after, vec![b]);
+        assert_eq!(d.in_after, vec![b]);
+        // A move that changes nothing is an edge no-op.
+        let d2 = net.move_node(c, Point::new(26.0, 0.0));
+        assert!(d2.is_edge_noop());
+        net.check_topology();
+    }
+
+    #[test]
+    fn set_range_delta_only_touches_out_edges() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 10.0));
+        let b = net.join(NodeConfig::new(Point::new(6.0, 0.0), 4.0));
+        let d = net.set_range(b, 7.0);
+        assert_eq!(d.kind(), DeltaKind::SetRange);
+        assert_eq!(d.added, vec![(b, a)]);
+        assert!(d.removed.is_empty());
+        assert_eq!(d.new_receivers().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(d.new_transmitters().count(), 0);
+        let d2 = net.set_range(b, 1.0);
+        assert_eq!(d2.removed, vec![(b, a)]);
+        assert!(d2.added.is_empty());
+        assert_eq!(d2.in_after, vec![a], "in-edges survive the range drop");
+        net.check_topology();
+    }
+
+    #[test]
+    fn obstacle_deltas_cover_each_severed_edge_once() {
+        use minim_geom::Segment;
+        let mut net = Network::new(10.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 12.0));
+        let b = net.join(NodeConfig::new(Point::new(10.0, 0.0), 12.0));
+        let c = net.join(NodeConfig::new(Point::new(0.0, 5.0), 12.0));
+        let deltas = net.add_obstacle(Segment::new(Point::new(5.0, -20.0), Point::new(5.0, 20.0)));
+        let mut removed: Vec<_> = deltas.iter().flat_map(|d| d.removed.clone()).collect();
+        removed.sort_unstable();
+        // Both directions of a–b and c–b are gone; nothing is double
+        // counted and nothing was added.
+        assert_eq!(removed, vec![(a, b), (b, a), (b, c), (c, b)]);
+        assert!(deltas.iter().all(|d| d.added.is_empty()));
+        assert!(deltas.iter().all(|d| d.kind() == DeltaKind::Rewire));
+        net.check_topology();
+    }
+
+    #[test]
+    fn iter_nodes_matches_node_ids() {
+        let mut net = Network::new(5.0);
+        for i in 0..5 {
+            net.join(NodeConfig::new(Point::new(i as f64 * 3.0, 0.0), 4.0));
+        }
+        assert_eq!(net.iter_nodes().collect::<Vec<_>>(), net.node_ids());
     }
 
     #[test]

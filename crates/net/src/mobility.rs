@@ -70,10 +70,9 @@ impl RandomWaypoint {
     /// time get a fresh leg; nodes that left the network are forgotten.
     pub fn tick<R: Rng + ?Sized>(&mut self, net: &Network, dt: f64, rng: &mut R) -> Vec<Event> {
         assert!(dt > 0.0, "dt must be positive");
-        let ids = net.node_ids();
         self.state.retain(|id, _| net.contains(*id));
-        let mut events = Vec::with_capacity(ids.len());
-        for id in ids {
+        let mut events = Vec::with_capacity(net.node_count());
+        for id in net.iter_nodes() {
             let here = net.config(id).expect("listed node exists").pos;
             let mut leg = match self.state.get(&id) {
                 Some(&l) => l,
@@ -259,7 +258,9 @@ mod tests {
             let events = model.tick(&net, 2.0, &mut rng);
             assert_eq!(events.len(), 20);
             for e in &events {
-                let Event::Move { node, to } = e else { panic!() };
+                let Event::Move { node, to } = e else {
+                    panic!()
+                };
                 let from = net.config(*node).unwrap().pos;
                 // Max travel = max_speed * dt (+ slack for multi-leg
                 // corners, which can only shorten net displacement).
@@ -278,7 +279,9 @@ mod tests {
         let mut travelled = 0.0;
         for _ in 0..100 {
             for e in model.tick(&net, 1.0, &mut rng) {
-                let Event::Move { node, to } = e else { panic!() };
+                let Event::Move { node, to } = e else {
+                    panic!()
+                };
                 travelled += net.config(node).unwrap().pos.dist(&to);
                 apply_topology(&mut net, &Event::Move { node, to });
             }
@@ -331,11 +334,7 @@ mod tests {
             for squad in &squads {
                 for (i, &a) in squad.iter().enumerate() {
                     for &b in &squad[i + 1..] {
-                        let d = net
-                            .config(a)
-                            .unwrap()
-                            .pos
-                            .dist(&net.config(b).unwrap().pos);
+                        let d = net.config(a).unwrap().pos.dist(&net.config(b).unwrap().pos);
                         assert!(d <= 4.3 + 2.0, "squad drifted apart: {d}");
                     }
                 }
@@ -351,8 +350,14 @@ mod tests {
             .map(|k| net.join(NodeConfig::new(Point::new(10.0 + k as f64, 10.0), 8.0)))
             .collect();
         let start = net.config(squad[0]).unwrap().pos;
-        let mut model =
-            GroupMobility::new(&net, Rect::paper_arena(), std::slice::from_ref(&squad), 5.0, 0.0, &mut rng);
+        let mut model = GroupMobility::new(
+            &net,
+            Rect::paper_arena(),
+            std::slice::from_ref(&squad),
+            5.0,
+            0.0,
+            &mut rng,
+        );
         for _ in 0..40 {
             for e in model.tick(&net, 1.0, &mut rng) {
                 apply_topology(&mut net, &e);

@@ -84,11 +84,7 @@ impl Trace {
         for e in &self.events {
             match e {
                 Event::Join { cfg } => {
-                    let _ = writeln!(
-                        out,
-                        "join {:?} {:?} {:?}",
-                        cfg.pos.x, cfg.pos.y, cfg.range
-                    );
+                    let _ = writeln!(out, "join {:?} {:?} {:?}", cfg.pos.x, cfg.pos.y, cfg.range);
                 }
                 Event::Leave { node } => {
                     let _ = writeln!(out, "leave {}", node.0);
@@ -121,7 +117,7 @@ impl Trace {
                 message,
             };
             let next_f64 = |parts: &mut std::str::SplitWhitespace<'_>,
-                                what: &str|
+                            what: &str|
              -> Result<f64, TraceParseError> {
                 parts
                     .next()
@@ -129,16 +125,16 @@ impl Trace {
                     .parse()
                     .map_err(|e| err(format!("bad {what}: {e}")))
             };
-            let next_id = |parts: &mut std::str::SplitWhitespace<'_>|
-             -> Result<NodeId, TraceParseError> {
-                Ok(NodeId(
-                    parts
-                        .next()
-                        .ok_or_else(|| err("missing node id".into()))?
-                        .parse()
-                        .map_err(|e| err(format!("bad node id: {e}")))?,
-                ))
-            };
+            let next_id =
+                |parts: &mut std::str::SplitWhitespace<'_>| -> Result<NodeId, TraceParseError> {
+                    Ok(NodeId(
+                        parts
+                            .next()
+                            .ok_or_else(|| err("missing node id".into()))?
+                            .parse()
+                            .map_err(|e| err(format!("bad node id: {e}")))?,
+                    ))
+                };
             let event = match kind {
                 "join" => {
                     let x = next_f64(&mut parts, "x")?;

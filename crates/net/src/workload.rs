@@ -139,8 +139,7 @@ impl MovementWorkload {
     /// state: every present node moves once, in ascending id order
     /// (the paper moves them "one by one").
     pub fn generate_round<R: Rng + ?Sized>(&self, net: &Network, rng: &mut R) -> Vec<Event> {
-        net.node_ids()
-            .into_iter()
+        net.iter_nodes()
             .map(|id| {
                 let from = net.config(id).expect("listed node exists").pos;
                 Event::Move {

@@ -152,7 +152,13 @@ mod tests {
         e.tick();
         e.send_to(n(2), n(1), Payload::Ack);
         e.tick();
-        assert_eq!(e.metrics(), ProtocolMetrics { messages: 3, rounds: 2 });
+        assert_eq!(
+            e.metrics(),
+            ProtocolMetrics {
+                messages: 3,
+                rounds: 2
+            }
+        );
     }
 
     #[test]

@@ -38,9 +38,12 @@ pub fn distributed_minim_move(
     let before = net.snapshot_assignment();
     let mut eng = Engine::new();
 
+    let delta = net.move_node(id, to);
+
     // Departure announcement to the old neighborhood (they update
-    // their caches; nobody recodes — §4.3).
-    let old_neighbors = net.graph().undirected_neighbors(id);
+    // their caches; nobody recodes — §4.3). The pre-move adjacency
+    // is reconstructed from the delta.
+    let old_neighbors = delta.undirected_before();
     for &u in &old_neighbors {
         eng.send_to(id, u, Payload::Leaving);
     }
@@ -49,8 +52,7 @@ pub fn distributed_minim_move(
         let _ = eng.drain(u);
     }
 
-    net.move_node(id, to);
-    let outcome = minim_gather_match_recolor(net, id, &mut eng, &before);
+    let outcome = minim_gather_match_recolor(net, &delta, &mut eng, &before);
     debug_assert!(net.validate().is_ok(), "distributed move invalid");
     (outcome, eng.metrics())
 }
@@ -65,12 +67,14 @@ pub fn distributed_minim_set_range(
     let before = net.snapshot_assignment();
     let old_range = net.config(id).expect("node must exist").range;
     let mut eng = Engine::new();
-    net.set_range(id, range);
+    let delta = net.set_range(id, range);
 
     if range <= old_range {
         // Decrease: announce so ex-receivers drop the link from their
-        // caches; provably nothing to recode (§4.3).
-        let neighbors = net.graph().undirected_neighbors(id);
+        // caches; provably nothing to recode (§4.3). The announcement
+        // must reach the *pre-decrease* neighborhood — exactly the
+        // nodes whose cached link just went stale.
+        let neighbors = delta.undirected_before();
         for &u in &neighbors {
             eng.send_to(id, u, Payload::RangeChanged);
         }
@@ -83,8 +87,9 @@ pub fn distributed_minim_set_range(
     }
 
     // Increase. Round 1: query every node now in transmission range
-    // (they hear the announcement directly).
-    let out_neighbors: Vec<NodeId> = net.graph().out_neighbors(id).to_vec();
+    // (they hear the announcement directly) — the delta's resulting
+    // out-list, no graph read.
+    let out_neighbors: Vec<NodeId> = delta.out_after.clone();
     for &u in &out_neighbors {
         eng.send_to(id, u, Payload::JoinQuery);
     }
@@ -132,7 +137,7 @@ pub fn distributed_minim_set_range(
         }
     }
     // CA1 with the initiator's own in-neighbors (standing cache).
-    for &w in net.graph().in_neighbors(id) {
+    for &w in &delta.in_after {
         if let Some(c) = net.assignment().get(w) {
             forbidden.push(c);
         }
@@ -149,7 +154,7 @@ pub fn distributed_minim_set_range(
         let c = Color::lowest_excluding(forbidden);
         net.assignment_mut().set(id, c);
         // Round 4: announce the new color to the whole neighborhood.
-        let neighbors = net.graph().undirected_neighbors(id);
+        let neighbors = delta.undirected_after();
         for &u in &neighbors {
             eng.send_to(id, u, Payload::ColorUpdate(c));
         }
@@ -167,7 +172,10 @@ pub fn distributed_minim_set_range(
 pub fn distributed_minim_leave(net: &mut Network, id: NodeId) -> (RecodeOutcome, ProtocolMetrics) {
     let before = net.snapshot_assignment();
     let mut eng = Engine::new();
-    let neighbors = net.graph().undirected_neighbors(id);
+    let delta = net.remove_node(id);
+    // The delta's severed edges name exactly the ex-neighbors who must
+    // hear the goodbye.
+    let neighbors = delta.undirected_before();
     for &u in &neighbors {
         eng.send_to(id, u, Payload::Leaving);
     }
@@ -175,7 +183,6 @@ pub fn distributed_minim_leave(net: &mut Network, id: NodeId) -> (RecodeOutcome,
     for &u in &neighbors {
         let _ = eng.drain(u);
     }
-    net.remove_node(id);
     debug_assert!(net.validate().is_ok());
     (RecodeOutcome::from_diff(net, &before), eng.metrics())
 }

@@ -35,7 +35,7 @@
 use crate::engine::{Engine, Payload, ProtocolMetrics};
 use minim_core::{plan_recode, RecodeOutcome, KEEP_WEIGHT};
 use minim_graph::{conflict, hops, Color, NodeId};
-use minim_net::{Network, NodeConfig};
+use minim_net::{Network, NodeConfig, TopologyDelta};
 use std::collections::{HashMap, HashSet};
 
 /// A neighbor's reply, as the joiner stores it: own color, constraint
@@ -51,9 +51,9 @@ pub fn distributed_minim_join(
     cfg: NodeConfig,
 ) -> (RecodeOutcome, ProtocolMetrics) {
     let before = net.snapshot_assignment();
-    net.insert_node(id, cfg);
+    let delta = net.insert_node(id, cfg);
     let mut eng = Engine::new();
-    let outcome = minim_gather_match_recolor(net, id, &mut eng, &before);
+    let outcome = minim_gather_match_recolor(net, &delta, &mut eng, &before);
     debug_assert!(net.validate().is_ok(), "distributed Minim join invalid");
     (outcome, eng.metrics())
 }
@@ -64,12 +64,14 @@ pub fn distributed_minim_join(
 /// recolors, commit. Used by the join and the move protocols.
 pub(crate) fn minim_gather_match_recolor(
     net: &mut Network,
-    id: NodeId,
+    delta: &TopologyDelta,
     eng: &mut Engine,
     before: &minim_graph::Assignment,
 ) -> RecodeOutcome {
-    // Round 1: announce/query.
-    let neighbors = net.graph().undirected_neighbors(id);
+    let id = delta.node();
+    // Round 1: announce/query. The joiner's radio adjacency is exactly
+    // the delta's post-event neighborhood — no graph read needed.
+    let neighbors = delta.undirected_after();
     for &u in &neighbors {
         eng.send_to(id, u, Payload::JoinQuery);
     }
@@ -107,21 +109,23 @@ pub(crate) fn minim_gather_match_recolor(
     eng.tick();
 
     // Round 3: the joiner reconstructs the instance from messages.
-    let reports: HashMap<NodeId, Report> = eng.drain(id)
-            .into_iter()
-            .filter_map(|m| match m.payload {
-                Payload::ConstraintReport {
-                    color,
-                    constraints,
-                    in_neighbors,
-                } => Some((m.from, (color, constraints, in_neighbors))),
-                _ => None,
-            })
-            .collect();
+    let reports: HashMap<NodeId, Report> = eng
+        .drain(id)
+        .into_iter()
+        .filter_map(|m| match m.payload {
+            Payload::ConstraintReport {
+                color,
+                constraints,
+                in_neighbors,
+            } => Some((m.from, (color, constraints, in_neighbors))),
+            _ => None,
+        })
+        .collect();
 
-    // The joiner knows the partition from its own radio adjacency.
-    let set = net.recode_set(id); // = sorted(1n ∪ 2n ∪ {id})
-    let out_only: Vec<NodeId> = net.partitions(id).three;
+    // The joiner knows the partition from its own radio adjacency,
+    // i.e. from the delta it just caused.
+    let set = delta.recode_set(); // = sorted(1n ∪ 2n ∪ {id})
+    let out_only: Vec<NodeId> = delta.partitions().three;
 
     let mut old = Vec::with_capacity(set.len());
     let mut forbidden: Vec<Vec<u32>> = Vec::with_capacity(set.len());
@@ -139,7 +143,7 @@ pub(crate) fn minim_gather_match_recolor(
                     f.push(c.index());
                 }
             }
-            for v in net.graph().out_neighbors(id) {
+            for v in &delta.out_after {
                 if let Some((_, _, inn)) = reports.get(v) {
                     for &(w, c) in inn {
                         if w != id && set.binary_search(&w).is_err() {
@@ -203,11 +207,11 @@ pub fn distributed_cp_join(
     cfg: NodeConfig,
 ) -> (RecodeOutcome, ProtocolMetrics) {
     let before = net.snapshot_assignment();
-    net.insert_node(id, cfg);
+    let delta = net.insert_node(id, cfg);
     let mut eng = Engine::new();
 
     // Rounds 1–2: query + color reports (the CP exchange of §3).
-    let neighbors = net.graph().undirected_neighbors(id);
+    let neighbors = delta.undirected_after();
     for &u in &neighbors {
         eng.send_to(id, u, Payload::JoinQuery);
     }
@@ -236,7 +240,7 @@ pub fn distributed_cp_join(
 
     // Round 3: the joiner tells the duplicated-color in-neighbors (the
     // pairs violating CA2 through it) to reselect.
-    let in_union = net.partitions(id).in_union();
+    let in_union = delta.partitions().in_union();
     let mut by_color: HashMap<Color, Vec<NodeId>> = HashMap::new();
     for &u in &in_union {
         if let Some(Some(c)) = colors.get(&u) {
@@ -302,7 +306,7 @@ pub fn distributed_cp_join(
         }
         eng.tick();
         // Receivers refresh their caches (drain; state already global).
-        for n in net.node_ids() {
+        for n in net.iter_nodes() {
             let _ = eng.drain(n);
         }
     }
@@ -316,8 +320,8 @@ mod tests {
     use super::*;
     use minim_core::{Cp, Minim, RecodingStrategy};
     use minim_geom::Point;
-    use minim_net::workload::JoinWorkload;
     use minim_net::event::Event;
+    use minim_net::workload::JoinWorkload;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -339,7 +343,9 @@ mod tests {
         for seed in 0..10 {
             let (net0, extras) = base_net(30, seed);
             for e in &extras {
-                let Event::Join { cfg } = e else { unreachable!() };
+                let Event::Join { cfg } = e else {
+                    unreachable!()
+                };
                 let mut net_d = net0.clone();
                 let id = net_d.next_id();
                 let (out_d, metrics) = distributed_minim_join(&mut net_d, id, *cfg);
@@ -368,7 +374,9 @@ mod tests {
             // Rebuild the base with CP so both paths share CP history.
             let _ = &mut net_cp_base;
             for e in &extras {
-                let Event::Join { cfg } = e else { unreachable!() };
+                let Event::Join { cfg } = e else {
+                    unreachable!()
+                };
                 let mut net_d = net_cp_base.clone();
                 let id = net_d.next_id();
                 let (out_d, _metrics) = distributed_cp_join(&mut net_d, id, *cfg);

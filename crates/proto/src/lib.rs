@@ -28,8 +28,6 @@ pub mod join;
 pub mod parallel;
 
 pub use engine::{Engine, Message, Payload, ProtocolMetrics};
-pub use events::{
-    distributed_minim_leave, distributed_minim_move, distributed_minim_set_range,
-};
+pub use events::{distributed_minim_leave, distributed_minim_move, distributed_minim_set_range};
 pub use join::{distributed_cp_join, distributed_minim_join};
 pub use parallel::{parallel_minim_joins, ParallelJoinError};

@@ -132,8 +132,11 @@ impl RadioSim {
     /// are tuned. Collision-freedom is CA1/CA2's job — asserted, not
     /// simulated.
     pub fn slot<R: Rng + ?Sized>(&mut self, net: &Network, rng: &mut R) {
-        debug_assert!(net.validate().is_ok(), "radio requires a correct assignment");
-        for u in net.node_ids() {
+        debug_assert!(
+            net.validate().is_ok(),
+            "radio requires a correct assignment"
+        );
+        for u in net.iter_nodes() {
             if self.in_outage(u) {
                 self.stats.outage_node_slots += 1;
             }
@@ -360,9 +363,7 @@ mod tests {
             let mut schedule = Vec::new();
             let mut ghost = net.clone();
             for round in 0..4u64 {
-                for e in
-                    MovementWorkload::paper(40.0, 1).generate_round(&ghost, &mut move_rng)
-                {
+                for e in MovementWorkload::paper(40.0, 1).generate_round(&ghost, &mut move_rng) {
                     minim_net::event::apply_topology(&mut ghost, &e);
                     schedule.push(TimedEvent {
                         at: round * 250,

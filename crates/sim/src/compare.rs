@@ -74,7 +74,11 @@ impl std::fmt::Display for PairedComparison {
             self.mean_diff,
             self.ci95_diff.0,
             self.ci95_diff.1,
-            if self.significant() { ", significant" } else { "" },
+            if self.significant() {
+                ", significant"
+            } else {
+                ""
+            },
             self.ratio_of_means,
         )
     }

@@ -134,8 +134,20 @@ fn aggregate_join_points(
                 }
             }
         }
-        colors.push_row(x, color_samples.iter().map(|s| Stats::from_samples(s)).collect());
-        recodings.push_row(x, recode_samples.iter().map(|s| Stats::from_samples(s)).collect());
+        colors.push_row(
+            x,
+            color_samples
+                .iter()
+                .map(|s| Stats::from_samples(s))
+                .collect(),
+        );
+        recodings.push_row(
+            x,
+            recode_samples
+                .iter()
+                .map(|s| Stats::from_samples(s))
+                .collect(),
+        );
     }
     JoinFigures { colors, recodings }
 }
@@ -214,11 +226,7 @@ fn power_replicate(n: usize, factor: f64, seed: u64) -> Vec<(f64, f64)> {
 
 /// Fig 11(a–c): power-increase phase after an `N = 100` join phase;
 /// sweep `raisefactor`.
-pub fn fig11_power_increase(
-    cfg: &ExperimentConfig,
-    factors: &[f64],
-    n: usize,
-) -> DeltaFigures {
+pub fn fig11_power_increase(cfg: &ExperimentConfig, factors: &[f64], n: usize) -> DeltaFigures {
     let jobs: Vec<(usize, f64, u64)> = factors
         .iter()
         .enumerate()
@@ -252,7 +260,10 @@ pub fn fig11_power_increase(
         dcolors.push_row(x, dc.iter().map(|s| Stats::from_samples(s)).collect());
         drecodings.push_row(x, dr.iter().map(|s| Stats::from_samples(s)).collect());
     }
-    DeltaFigures { dcolors, drecodings }
+    DeltaFigures {
+        dcolors,
+        drecodings,
+    }
 }
 
 /// The paper's Fig 11 sweep values (raisefactor 1 .. 6).
@@ -266,12 +277,7 @@ pub fn paper_fig11_factors() -> Vec<f64> {
 /// strategy, **after each round** (so one run yields every `RoundNo`
 /// point of Fig 12(b–d); this is statistically equivalent to separate
 /// runs with shared seeds and considerably cheaper).
-fn movement_replicate(
-    n: usize,
-    maxdisp: f64,
-    rounds: usize,
-    seed: u64,
-) -> Vec<Vec<(f64, f64)>> {
+fn movement_replicate(n: usize, maxdisp: f64, rounds: usize, seed: u64) -> Vec<Vec<(f64, f64)>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let workload = JoinWorkload::paper(n);
     let join_events = workload.generate(&mut rng);
@@ -341,7 +347,10 @@ pub fn fig12_vs_maxdisp(cfg: &ExperimentConfig, maxdisps: &[f64], n: usize) -> D
         dcolors.push_row(x, dc.iter().map(|s| Stats::from_samples(s)).collect());
         drecodings.push_row(x, dr.iter().map(|s| Stats::from_samples(s)).collect());
     }
-    DeltaFigures { dcolors, drecodings }
+    DeltaFigures {
+        dcolors,
+        drecodings,
+    }
 }
 
 /// The paper's Fig 12(a) sweep values (maxdisp 5 .. 75).
@@ -351,8 +360,15 @@ pub fn paper_fig12_maxdisps() -> Vec<f64> {
 
 /// Fig 12(b–d): `maxdisp = 40`, sweep `RoundNo` 1..=`max_rounds`
 /// (`N = 40`). One replicate runs all rounds cumulatively.
-pub fn fig12_vs_rounds(cfg: &ExperimentConfig, max_rounds: usize, n: usize, maxdisp: f64) -> DeltaFigures {
-    let jobs: Vec<u64> = (0..cfg.runs).map(|rep| cfg.replicate_seed(0, rep)).collect();
+pub fn fig12_vs_rounds(
+    cfg: &ExperimentConfig,
+    max_rounds: usize,
+    n: usize,
+    maxdisp: f64,
+) -> DeltaFigures {
+    let jobs: Vec<u64> = (0..cfg.runs)
+        .map(|rep| cfg.replicate_seed(0, rep))
+        .collect();
     let results = parallel_map(&jobs, cfg.workers, |&seed| {
         movement_replicate(n, maxdisp, max_rounds, seed)
     });
@@ -386,7 +402,10 @@ pub fn fig12_vs_rounds(cfg: &ExperimentConfig, max_rounds: usize, n: usize, maxd
             dr.iter().map(|s| Stats::from_samples(s)).collect(),
         );
     }
-    DeltaFigures { dcolors, drecodings }
+    DeltaFigures {
+        dcolors,
+        drecodings,
+    }
 }
 
 /// Ablation: Minim's keep-edge weight. For each weight, the total
@@ -548,7 +567,9 @@ pub fn mobility_model_study(cfg: &ExperimentConfig, n: usize, rounds: usize) -> 
     use minim_net::event::apply_topology;
     use minim_net::mobility::RandomWaypoint;
 
-    let jobs: Vec<u64> = (0..cfg.runs).map(|rep| cfg.replicate_seed(0, rep)).collect();
+    let jobs: Vec<u64> = (0..cfg.runs)
+        .map(|rep| cfg.replicate_seed(0, rep))
+        .collect();
     let results = parallel_map(&jobs, cfg.workers, |&seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let workload = JoinWorkload::paper(n);
@@ -565,12 +586,15 @@ pub fn mobility_model_study(cfg: &ExperimentConfig, n: usize, rounds: usize) -> 
         // Teleport schedule (§5.3) and an equal-duration waypoint
         // schedule, both pre-generated on ghosts so every strategy sees
         // identical motion.
-        let teleport =
-            pregenerate_movement_rounds(&bases[0], &MovementWorkload::paper(40.0, rounds), rounds, &mut rng);
+        let teleport = pregenerate_movement_rounds(
+            &bases[0],
+            &MovementWorkload::paper(40.0, rounds),
+            rounds,
+            &mut rng,
+        );
         let waypoint: Vec<Vec<minim_net::event::Event>> = {
             let mut ghost = bases[0].clone();
-            let mut model =
-                RandomWaypoint::new(minim_geom::Rect::paper_arena(), 2.0, 6.0);
+            let mut model = RandomWaypoint::new(minim_geom::Rect::paper_arena(), 2.0, 6.0);
             (0..rounds * 5) // 5 small ticks per teleport round: same order of total motion
                 .map(|_| {
                     let events = model.tick(&ghost, 1.0, &mut rng);
@@ -582,14 +606,15 @@ pub fn mobility_model_study(cfg: &ExperimentConfig, n: usize, rounds: usize) -> 
                 .collect()
         };
 
-        let run_schedule = |kind: StrategyKind, base: &Network, schedule: &[Vec<minim_net::event::Event>]| {
-            let mut net = base.clone();
-            let mut s = kind.build();
-            schedule
-                .iter()
-                .map(|events| run_events(&mut *s, &mut net, events).recodings as f64)
-                .sum::<f64>()
-        };
+        let run_schedule =
+            |kind: StrategyKind, base: &Network, schedule: &[Vec<minim_net::event::Event>]| {
+                let mut net = base.clone();
+                let mut s = kind.build();
+                schedule
+                    .iter()
+                    .map(|events| run_events(&mut *s, &mut net, events).recodings as f64)
+                    .sum::<f64>()
+            };
 
         let mut out = Vec::new(); // [model][strategy]
         for schedule in [&teleport, &waypoint] {
@@ -692,7 +717,10 @@ pub fn hybrid_gossip_study(
                 cols[3].push(hr);
             }
         }
-        table.push_row(p as f64, cols.iter().map(|s| Stats::from_samples(s)).collect());
+        table.push_row(
+            p as f64,
+            cols.iter().map(|s| Stats::from_samples(s)).collect(),
+        );
     }
     table
 }
@@ -853,7 +881,10 @@ mod tests {
 
     #[test]
     fn paper_sweeps_have_expected_sizes() {
-        assert_eq!(paper_fig10_ns(), vec![40, 50, 60, 70, 80, 90, 100, 110, 120]);
+        assert_eq!(
+            paper_fig10_ns(),
+            vec![40, 50, 60, 70, 80, 90, 100, 110, 120]
+        );
         assert_eq!(paper_fig10_avg_ranges().len(), 13);
         assert_eq!(paper_fig11_factors().len(), 11);
         assert_eq!(paper_fig12_maxdisps().len(), 15);

@@ -73,11 +73,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        series: Vec<String>,
-    ) -> Table {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, series: Vec<String>) -> Table {
         Table {
             title: title.into(),
             x_label: x_label.into(),

@@ -2,18 +2,18 @@
 //!
 //! Every figure point averages 100 independent replicates; replicates
 //! across points are independent too, so the whole sweep is an
-//! embarrassingly parallel bag of jobs. We run it on a crossbeam
-//! scoped-thread worker pool: workers pull job indices from an atomic
-//! counter and write results into a pre-sized slot vector behind a
-//! `parking_lot::Mutex` (taken once per job completion — the hot path,
-//! the simulation itself, holds no locks).
+//! embarrassingly parallel bag of jobs. We run it on a
+//! `std::thread::scope` worker pool: workers pull job indices from an
+//! atomic counter and write results into a pre-sized slot vector
+//! behind a mutex (taken once per job completion — the hot path, the
+//! simulation itself, holds no locks).
 //!
 //! Determinism: the job function receives only its job description
 //! (which embeds a [`minim_geom::sample::child_seed`]-derived seed), so
 //! results are independent of scheduling and worker count.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Maps `f` over `jobs` on `workers` threads, preserving input order
 /// in the output. `workers == 0` or `1` runs inline (useful for tests
@@ -29,21 +29,21 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(jobs.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
                 let result = f(&jobs[i]);
-                slots.lock()[i] = Some(result);
+                slots.lock().expect("slot lock poisoned")[i] = Some(result);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     slots
         .into_inner()
+        .expect("slot lock poisoned")
         .into_iter()
         .map(|slot| slot.expect("every job filled its slot"))
         .collect()
@@ -76,7 +76,9 @@ mod tests {
             // A job with some data dependence on the seed.
             let mut acc = x;
             for _ in 0..1000 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
             }
             acc
         };

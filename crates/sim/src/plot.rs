@@ -55,11 +55,11 @@ pub fn ascii_plot(table: &Table, width: usize, height: usize) -> String {
         let marker = MARKERS[si % MARKERS.len()];
         for row in &table.rows {
             let cx = ((row.x - x_min) / x_span * (width - 1) as f64).round() as usize;
-            let cy = ((row.values[si].mean - y_min) / y_span * (height - 1) as f64).round()
-                as usize;
+            let cy =
+                ((row.values[si].mean - y_min) / y_span * (height - 1) as f64).round() as usize;
             let r = height - 1 - cy; // y grows upward
-            // Later series overwrite on collision; the legend
-            // disambiguates close curves well enough for shape checks.
+                                     // Later series overwrite on collision; the legend
+                                     // disambiguates close curves well enough for shape checks.
             canvas[r][cx.min(width - 1)] = marker;
         }
     }
@@ -82,10 +82,7 @@ pub fn ascii_plot(table: &Table, width: usize, height: usize) -> String {
         out,
         "{:>10}  {:<width$}",
         "",
-        format!(
-            "{} = {:.6} .. {:.6}",
-            table.x_label, x_min, x_max
-        ),
+        format!("{} = {:.6} .. {:.6}", table.x_label, x_min, x_max),
         width = width
     );
     let legend: Vec<String> = table

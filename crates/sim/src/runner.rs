@@ -1,7 +1,18 @@
 //! Scenario runners: apply generated event sequences to a strategy and
 //! accumulate the paper's two metrics.
+//!
+//! The event loop is **delta-driven**: every applied event yields a
+//! [`minim_net::TopologyDelta`] (routed up from the `Network` mutators
+//! through [`RecodingStrategy::apply_delta`]), and per-event
+//! consistency checking — [`ValidationMode::Delta`] — runs
+//! `conflict::validate_delta` on just the delta's affected
+//! neighborhood, `O(Δ)` per event. [`ValidationMode::Full`] re-checks
+//! the whole conflict graph after every event (`O(E)`), and exists as
+//! the control arm: the `delta` bench in `crates/bench` measures the
+//! two against each other on the Fig 10 join sweep.
 
 use minim_core::RecodingStrategy;
+use minim_graph::conflict;
 use minim_net::event::{apply_topology, Event};
 use minim_net::workload::MovementWorkload;
 use minim_net::Network;
@@ -14,6 +25,24 @@ pub struct PhaseMetrics {
     pub recodings: usize,
     /// Maximum color index assigned at phase end.
     pub max_color: u32,
+    /// Total digraph edge insertions + removals over the phase — the
+    /// summed per-event `Δ`, read off the topology deltas.
+    pub edge_churn: usize,
+}
+
+/// How (and whether) the event loop checks CA1/CA2 after each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationMode {
+    /// No per-event checking (the strategies' own debug assertions
+    /// still run in debug builds).
+    #[default]
+    Off,
+    /// `O(Δ)` per event: `conflict::validate_delta` over the event's
+    /// touched nodes plus everything the strategy recoded.
+    Delta,
+    /// `O(E)` per event: full `conflict::validate` over the whole
+    /// graph — the control arm the paper's locality claim beats.
+    Full,
 }
 
 /// Applies `events` in order with `strategy`, returning the phase
@@ -24,14 +53,45 @@ pub fn run_events(
     net: &mut Network,
     events: &[Event],
 ) -> PhaseMetrics {
+    run_events_validated(strategy, net, events, ValidationMode::Off)
+}
+
+/// [`run_events`] with per-event CA1/CA2 checking in the chosen
+/// [`ValidationMode`].
+///
+/// # Panics
+/// Panics on the first event whose aftermath violates CA1/CA2.
+pub fn run_events_validated(
+    strategy: &mut dyn RecodingStrategy,
+    net: &mut Network,
+    events: &[Event],
+    mode: ValidationMode,
+) -> PhaseMetrics {
     let mut recodings = 0;
+    let mut edge_churn = 0;
     for e in events {
-        let (_, outcome) = strategy.apply(net, e);
-        recodings += outcome.recodings();
+        let (_, effect) = strategy.apply_delta(net, e);
+        recodings += effect.outcome.recodings();
+        edge_churn += effect.delta.edge_churn();
+        match mode {
+            ValidationMode::Off => {}
+            ValidationMode::Delta => {
+                let seeds = minim_core::validation_seeds(&effect.delta, &effect.outcome);
+                if let Err(v) = conflict::validate_delta(net.graph(), net.assignment(), &seeds) {
+                    panic!("event {e:?} left a CA1/CA2 violation: {v}");
+                }
+            }
+            ValidationMode::Full => {
+                if let Err(v) = net.validate() {
+                    panic!("event {e:?} left a CA1/CA2 violation: {v}");
+                }
+            }
+        }
     }
     PhaseMetrics {
         recodings,
         max_color: net.max_color_index(),
+        edge_churn,
     }
 }
 
@@ -80,6 +140,92 @@ mod tests {
         assert!(metrics.recodings >= 20);
         assert!(metrics.max_color >= 1);
         assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn validated_modes_agree_and_count_churn() {
+        for kind in StrategyKind::ALL {
+            let mut rng = StdRng::seed_from_u64(9);
+            let events = JoinWorkload::paper(30).generate(&mut rng);
+            let mut results = Vec::new();
+            for mode in [
+                ValidationMode::Off,
+                ValidationMode::Delta,
+                ValidationMode::Full,
+            ] {
+                let mut net = Network::new(25.0);
+                let mut s = kind.build();
+                let m = run_events_validated(&mut *s, &mut net, &events, mode);
+                assert!(m.edge_churn > 0, "joins wire edges");
+                results.push(m);
+            }
+            assert_eq!(results[0], results[1], "{:?} delta mode", kind);
+            assert_eq!(results[0], results[2], "{:?} full mode", kind);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CA1/CA2 violation")]
+    fn delta_validation_catches_a_sabotaged_strategy() {
+        /// A strategy that never colors anyone — every join leaves the
+        /// joiner uncolored, which local validation must flag.
+        struct Sloppy;
+        impl minim_core::RecodingStrategy for Sloppy {
+            fn name(&self) -> &'static str {
+                "sloppy"
+            }
+            fn on_join_delta(
+                &mut self,
+                net: &mut Network,
+                id: minim_graph::NodeId,
+                cfg: minim_net::NodeConfig,
+            ) -> minim_core::EventEffect {
+                let delta = net.insert_node(id, cfg);
+                minim_core::EventEffect {
+                    delta,
+                    outcome: minim_core::RecodeOutcome::default(),
+                }
+            }
+            fn on_leave_delta(
+                &mut self,
+                net: &mut Network,
+                id: minim_graph::NodeId,
+            ) -> minim_core::EventEffect {
+                let delta = net.remove_node(id);
+                minim_core::EventEffect {
+                    delta,
+                    outcome: minim_core::RecodeOutcome::default(),
+                }
+            }
+            fn on_move_delta(
+                &mut self,
+                net: &mut Network,
+                id: minim_graph::NodeId,
+                to: minim_geom::Point,
+            ) -> minim_core::EventEffect {
+                let delta = net.move_node(id, to);
+                minim_core::EventEffect {
+                    delta,
+                    outcome: minim_core::RecodeOutcome::default(),
+                }
+            }
+            fn on_set_range_delta(
+                &mut self,
+                net: &mut Network,
+                id: minim_graph::NodeId,
+                range: f64,
+            ) -> minim_core::EventEffect {
+                let delta = net.set_range(id, range);
+                minim_core::EventEffect {
+                    delta,
+                    outcome: minim_core::RecodeOutcome::default(),
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let events = JoinWorkload::paper(5).generate(&mut rng);
+        let mut net = Network::new(25.0);
+        run_events_validated(&mut Sloppy, &mut net, &events, ValidationMode::Delta);
     }
 
     #[test]

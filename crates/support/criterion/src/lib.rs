@@ -1,0 +1,422 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-io mirror, so this workspace
+//! vendors the API subset its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (both invocation
+//! forms). Measurement is deliberately simple but honest:
+//!
+//! 1. warm up for a fixed budget,
+//! 2. pick an iteration count so one sample lasts ≥ ~1 ms,
+//! 3. take `sample_size` samples,
+//! 4. report min / median / mean per iteration.
+//!
+//! There are no plots, baselines, or statistical regressions — run
+//! times print to stdout in a stable, grep-friendly format:
+//!
+//! ```text
+//! bench-name    time: [min 1.20 µs  median 1.24 µs  mean 1.25 µs]  (50 samples x 800 iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the prefix).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+    mode: BenchMode,
+}
+
+enum BenchMode {
+    /// Calibrating: run once, record the duration.
+    Calibrate,
+    /// Measuring: run `iters_per_sample` times per sample.
+    Measure { sample_count: usize },
+}
+
+impl Bencher<'_> {
+    /// Times `routine` (the usual hot loop).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::Calibrate => {
+                let start = Instant::now();
+                black_box(routine());
+                self.samples.push(start.elapsed());
+            }
+            BenchMode::Measure { sample_count } => {
+                for _ in 0..sample_count {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            BenchMode::Calibrate => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                self.samples.push(start.elapsed());
+            }
+            BenchMode::Measure { sample_count } => {
+                for _ in 0..sample_count {
+                    let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+                    let start = Instant::now();
+                    for input in inputs {
+                        black_box(routine(input));
+                    }
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 50,
+            warm_up: Duration::from_millis(120),
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+/// The bench harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_bench(name, self.config, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Runs `f` as `group-name/id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.config, f);
+        self
+    }
+
+    /// Runs `f` with `input` as `group-name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.config, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (reporting happens per-bench; this exists for
+    /// API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(name: &str, config: Config, mut f: F)
+where
+    F: FnMut(&mut Bencher<'_>),
+{
+    // Calibration: run single iterations until the warm-up budget is
+    // spent, tracking the typical duration of one call. A closure
+    // that never calls `iter`/`iter_batched` records nothing — bail
+    // out after a bounded number of attempts instead of spinning (and
+    // instead of dividing by zero below).
+    let mut calib: Vec<Duration> = Vec::new();
+    let warm_start = Instant::now();
+    let mut attempts = 0u32;
+    while warm_start.elapsed() < config.warm_up || calib.is_empty() {
+        let mut b = Bencher {
+            samples: &mut calib,
+            iters_per_sample: 1,
+            mode: BenchMode::Calibrate,
+        };
+        f(&mut b);
+        attempts += 1;
+        if calib.len() >= 10_000 || (calib.is_empty() && attempts >= 100) {
+            break;
+        }
+    }
+    if calib.is_empty() {
+        println!("{name:<48} skipped: benchmark closure drove no iterations");
+        return;
+    }
+    let per_iter = calib.iter().sum::<Duration>() / calib.len() as u32;
+
+    // Aim each sample at ≥ 1 ms, and the whole measurement at the
+    // configured budget.
+    let target_sample =
+        (config.measurement / config.sample_size as u32).max(Duration::from_millis(1));
+    let iters_per_sample = if per_iter.is_zero() {
+        1000
+    } else {
+        (target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(config.sample_size);
+    let mut b = Bencher {
+        samples: &mut samples,
+        iters_per_sample,
+        mode: BenchMode::Measure {
+            sample_count: config.sample_size,
+        },
+    };
+    f(&mut b);
+
+    let mut per_iter_ns: Vec<f64> = samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters_per_sample as f64)
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter_ns.first().copied().unwrap_or(0.0);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{name:<48} time: [min {}  median {}  mean {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        per_iter_ns.len(),
+        iters_per_sample
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions. Both criterion invocation
+/// forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(6))
+    }
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = fast_config();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn empty_bench_closure_is_skipped_not_hung() {
+        let mut c = fast_config();
+        // Never calls b.iter(): must report "skipped" and return
+        // instead of spinning in calibration.
+        c.bench_function("no-op", |_b| {});
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = fast_config();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_with_input(BenchmarkId::new("f", 9), &9u32, |b, &x| {
+            b.iter_batched(|| x, |v| black_box(v + 1), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 9).to_string(), "f/9");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    mod macro_smoke {
+        use super::super::*;
+
+        fn target(c: &mut Criterion) {
+            c.bench_function("macro-smoke", |b| b.iter(|| black_box(1 + 1)));
+        }
+
+        criterion_group! {
+            name = configured;
+            config = Criterion::default()
+                .sample_size(2)
+                .warm_up_time(std::time::Duration::from_millis(1))
+                .measurement_time(std::time::Duration::from_millis(4));
+            targets = target
+        }
+
+        #[test]
+        fn both_group_forms_expand() {
+            configured();
+        }
+    }
+}

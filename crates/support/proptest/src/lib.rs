@@ -1,0 +1,432 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API this workspace uses — the
+//! [`proptest!`] macro over `pattern in strategy` arguments, range and
+//! tuple strategies, [`collection::vec`], [`collection::btree_set`],
+//! [`option::weighted`], [`Strategy::prop_map`], and the
+//! `prop_assert*` macros — on top of a deterministic SplitMix64 case
+//! generator. Failing cases are *not* shrunk (the real crate's
+//! headline feature); the failure message instead reports the case
+//! number and the test's seed so a failure reproduces exactly.
+//!
+//! Each test's seed is derived from its module path and name, so cases
+//! are stable across runs and machines but decorrelated across tests.
+//! `PROPTEST_CASES` overrides the per-test case count (default 64).
+
+use std::ops::Range;
+
+/// Number of cases each property runs (overridable via the
+/// `PROPTEST_CASES` environment variable).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The deterministic case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary label (the test's
+    /// qualified name).
+    pub fn from_label(label: &str) -> Self {
+        // FNV-1a, then SplitMix64 finalization below decorrelates.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A value generator. Unlike the real crate there is no intermediate
+/// `ValueTree`: strategies produce values directly and failures are
+/// not shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// `Vec` of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` of `element` values; up to `size` insertion attempts
+    /// (duplicates collapse, as in the real crate's minimum-size-0
+    /// behaviour).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Some(value)` with probability `p`, `None` otherwise.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> Weighted<S> {
+        assert!((0.0..=1.0).contains(&p), "weighted: p={p} outside [0, 1]");
+        Weighted { p, inner }
+    }
+
+    /// See [`weighted`].
+    pub struct Weighted<S> {
+        p: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < self.p {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// use proptest::prelude::*;
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __label = concat!(module_path!(), "::", stringify!($name));
+                let __strategy = ($($strat,)+);
+                let mut __rng = $crate::TestRng::from_label(__label);
+                for __case in 0..$crate::cases() {
+                    let __case_rng = __rng.clone();
+                    let mut __run = || -> Result<(), String> {
+                        let ($($pat,)+) =
+                            $crate::Strategy::generate(&__strategy, &mut __rng);
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if let Err(msg) = __run() {
+                        panic!(
+                            "property {} failed at case {}/{} (rng {:?}): {}",
+                            __label,
+                            __case + 1,
+                            $crate::cases(),
+                            __case_rng,
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)*),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                left
+            ));
+        }
+    }};
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::from_label("ranges");
+        for _ in 0..1000 {
+            let x = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (-2.0..2.0f64).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_set_strategies_respect_sizes() {
+        let mut rng = TestRng::from_label("vec");
+        for _ in 0..200 {
+            let v = collection::vec(0u32..5, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            let s: BTreeSet<u32> = collection::btree_set(0u32..50, 0..4).generate(&mut rng);
+            assert!(s.len() < 4);
+        }
+    }
+
+    #[test]
+    fn weighted_option_hits_both_arms() {
+        let mut rng = TestRng::from_label("weighted");
+        let strat = option::weighted(0.5, 0u32..10);
+        let (mut some, mut none) = (0, 0);
+        for _ in 0..500 {
+            match strat.generate(&mut rng) {
+                Some(_) => some += 1,
+                None => none += 1,
+            }
+        }
+        assert!(some > 100 && none > 100, "some={some} none={none}");
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = TestRng::from_label("map");
+        let doubled = (1u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = doubled.generate(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!((2..20).contains(&v));
+        }
+    }
+
+    proptest! {
+        /// The macro itself: tuple patterns, multiple args, trailing comma.
+        #[test]
+        fn macro_end_to_end((a, b) in (0u32..50, 0u32..50), c in 0usize..5,) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(c.min(4), c);
+            prop_assert_ne!(a + b + 1, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_label() {
+        let mut a = TestRng::from_label("x");
+        let mut b = TestRng::from_label("x");
+        let mut c = TestRng::from_label("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(TestRng::from_label("x").next_u64(), c.next_u64());
+    }
+}

@@ -94,5 +94,8 @@ fn main() {
     );
     assert_eq!(outcome.recodings(), bound);
     assert!(net.validate().is_ok());
-    println!("done: assignment valid, {} codes in use", net.max_color_index());
+    println!(
+        "done: assignment valid, {} codes in use",
+        net.max_color_index()
+    );
 }

@@ -14,7 +14,7 @@
 //! cargo run --release --example realtime_links
 //! ```
 
-use minim::core::{Instrumented, Minim, Cp, RecodingStrategy, StrategyKind};
+use minim::core::{Cp, Instrumented, Minim, RecodingStrategy, StrategyKind};
 use minim::geom::Rect;
 use minim::net::event::apply_topology;
 use minim::net::mobility::RandomWaypoint;
@@ -37,7 +37,7 @@ fn mobility_schedule(seed: u64) -> (Vec<minim::net::event::Event>, Vec<TimedEven
     for e in &joins {
         apply_topology(&mut ghost, e);
     }
-    let mut model = RandomWaypoint::new(Rect::paper_arena(), 1.0, 4.0, );
+    let mut model = RandomWaypoint::new(Rect::paper_arena(), 1.0, 4.0);
     let mut schedule = Vec::new();
     for tick in 0..MOBILITY_TICKS {
         let at = (tick + 1) * (SLOTS / (MOBILITY_TICKS + 1));

@@ -62,11 +62,19 @@ fn main() {
         let phase_a = tick as f64 * 0.15;
         let phase_b = 0.2 - tick as f64 * 0.1;
         for (k, &id) in ring_a.iter().enumerate() {
-            let out = minim.on_move(&mut net, id, ring_position(center, 18.0, k, RING_A, phase_a));
+            let out = minim.on_move(
+                &mut net,
+                id,
+                ring_position(center, 18.0, k, RING_A, phase_a),
+            );
             total_recodings += out.recodings();
         }
         for (k, &id) in ring_b.iter().enumerate() {
-            let out = minim.on_move(&mut net, id, ring_position(center, 34.0, k, RING_B, phase_b));
+            let out = minim.on_move(
+                &mut net,
+                id,
+                ring_position(center, 34.0, k, RING_B, phase_b),
+            );
             total_recodings += out.recodings();
         }
         assert!(net.validate().is_ok(), "tick {tick} broke CA1/CA2");
@@ -96,5 +104,9 @@ fn main() {
         Err(e) => println!("parallel join rejected: {e}"),
     }
     assert!(net.validate().is_ok());
-    println!("final network: {} nodes, {} codes", net.node_count(), net.max_color_index());
+    println!(
+        "final network: {} nodes, {} codes",
+        net.node_count(),
+        net.max_color_index()
+    );
 }

@@ -1,0 +1,381 @@
+//! Delta/full equivalence — the correctness contract of the
+//! delta-driven event path.
+//!
+//! Two families of properties over randomized workloads (the §5
+//! join/move/power generators from `minim-net::workload`):
+//!
+//! 1. **Validation equivalence**: after every event,
+//!    `conflict::validate_delta` seeded with
+//!    `minim_core::validation_seeds` (the initiating node plus every
+//!    recoded node) returns the same verdict as the full
+//!    `conflict::validate` oracle.
+//! 2. **Strategy equivalence**: the delta-driven strategies (which
+//!    read partitions/recode sets off the `TopologyDelta`) produce
+//!    **bit-identical** `RecodeOutcome`s and final assignments to
+//!    *oracle* re-implementations that re-derive everything from the
+//!    full graph each event — the seed's original code path.
+//!
+//! Also pins the substrate-level facts the strategies rely on: a
+//! delta's derived partitions/recode set equal the graph-derived ones
+//! after every kind of event.
+
+use minim::core::{
+    gather_recode_inputs, plan_recode, EventEffect, RecodeOutcome, RecodingStrategy, KEEP_WEIGHT,
+};
+use minim::geom::Point;
+use minim::graph::{conflict, hops, Color, NodeId};
+use minim::net::event::{Event, PowerDirection};
+use minim::net::workload::{ChurnWorkload, JoinWorkload, MovementWorkload, PowerRaiseWorkload};
+use minim::net::{Network, NodeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random mixed event sequence: joins to seed the network, then churn
+/// (joins/leaves/moves/range changes) and a §5.2 power-raise sweep.
+fn mixed_events(seed: u64, joins: usize, churn: usize) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = JoinWorkload::paper(joins).generate(&mut rng);
+    // Simulate forward on a ghost network to generate state-dependent
+    // events (moves/leaves need live node ids).
+    let mut ghost = Network::new(25.0);
+    let mut m = minim::core::Minim::default();
+    for e in &events {
+        m.apply(&mut ghost, e);
+    }
+    let churn_w = ChurnWorkload::paper(churn, 0.45);
+    for _ in 0..churn {
+        let e = churn_w.next_event(&ghost, &mut rng);
+        m.apply(&mut ghost, &e);
+        events.push(e);
+    }
+    let raises = PowerRaiseWorkload::paper(1.8).generate(&ghost, &mut rng);
+    for e in raises {
+        m.apply(&mut ghost, &e);
+        events.push(e.clone());
+    }
+    let moves = MovementWorkload::paper(30.0, 1).generate_round(&ghost, &mut rng);
+    events.extend(moves);
+    events
+}
+
+/// After every event of a Minim-driven run, the local and full
+/// validators must agree (both Ok — and if we sabotage a color, both
+/// Err).
+#[test]
+fn validate_delta_matches_full_validate_across_workloads() {
+    for seed in 0..6 {
+        let events = mixed_events(seed, 25, 30);
+        let mut net = Network::new(25.0);
+        let mut strategy = minim::core::Minim::default();
+        for e in &events {
+            let (_, effect) = strategy.apply_delta(&mut net, e);
+            let seeds = minim::core::validation_seeds(&effect.delta, &effect.outcome);
+            let local = conflict::validate_delta(net.graph(), net.assignment(), &seeds);
+            let full = net.validate();
+            assert_eq!(
+                local.is_ok(),
+                full.is_ok(),
+                "seed {seed}, event {e:?}: local {local:?} vs full {full:?}"
+            );
+            assert!(full.is_ok(), "Minim must keep the network valid");
+        }
+    }
+}
+
+/// Sabotaged assignments are caught by the local validator exactly
+/// when the damage touches the seeded neighborhood.
+#[test]
+fn validate_delta_flags_injected_conflicts() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for seed in 0..6 {
+        let events = mixed_events(seed, 20, 10);
+        let mut net = Network::new(25.0);
+        let mut strategy = minim::core::Minim::default();
+        for e in &events {
+            strategy.apply(&mut net, e);
+        }
+        // Corrupt a random node's color to a conflicting partner's
+        // color, then check the local validator (seeded with the
+        // corrupted node) agrees with the full one.
+        let ids = net.node_ids();
+        let victim = ids[rng.gen_range(0..ids.len())];
+        let partners = conflict::conflicts_of(net.graph(), victim);
+        if let Some(&p) = partners.first() {
+            let stolen = net.assignment().get(p).unwrap();
+            net.set_color(victim, stolen);
+            let local = conflict::validate_delta(net.graph(), net.assignment(), &[victim]);
+            assert!(local.is_err(), "seed {seed}: stolen color must be flagged");
+            assert_eq!(local.is_ok(), net.validate().is_ok(), "seed {seed}");
+        }
+    }
+}
+
+/// Delta-derived partitions and recode sets equal the graph-derived
+/// ones after joins, moves, and range changes.
+#[test]
+fn delta_neighborhoods_match_graph_rederivation() {
+    for seed in 10..16 {
+        let events = mixed_events(seed, 20, 25);
+        let mut net = Network::new(25.0);
+        let mut strategy = minim::core::Minim::default();
+        for e in &events {
+            let (_, effect) = strategy.apply_delta(&mut net, e);
+            let d = &effect.delta;
+            let n = d.node();
+            if !net.contains(n) {
+                continue; // leave: nothing to compare
+            }
+            assert_eq!(d.out_after, net.graph().out_neighbors(n), "event {e:?}");
+            assert_eq!(d.in_after, net.graph().in_neighbors(n), "event {e:?}");
+            assert_eq!(d.partitions(), net.partitions(n), "event {e:?}");
+            assert_eq!(d.recode_set(), net.recode_set(n), "event {e:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Oracle strategies: the seed's full-rederivation code paths,
+// reconstructed from the paper's figures on top of the public API.
+// They never look at a TopologyDelta's contents.
+// ---------------------------------------------------------------------
+
+/// `RecodeOnJoin`/`RecodeOnMove`/`RecodeOnPowIncrease` re-deriving the
+/// recode set and constraints from the full graph every event.
+#[derive(Default)]
+struct OracleMinim;
+
+impl OracleMinim {
+    fn matching_recode(net: &mut Network, n: NodeId) -> RecodeOutcome {
+        let before = net.snapshot_assignment();
+        let set = net.recode_set(n); // graph re-derivation
+        let mut set_colors: Vec<Color> = set.iter().filter_map(|&u| before.get(u)).collect();
+        set_colors.sort_unstable();
+        let distinct = set_colors.windows(2).all(|w| w[0] != w[1]);
+        if distinct {
+            let n_constraints = conflict::constraint_colors(net.graph(), net.assignment(), n);
+            match before.get(n) {
+                Some(c) => {
+                    if !n_constraints.contains(&c) {
+                        return RecodeOutcome::from_diff(net, &before);
+                    }
+                }
+                None => {
+                    let c = Color::lowest_excluding(n_constraints);
+                    net.assignment_mut().set(n, c);
+                    return RecodeOutcome::from_diff(net, &before);
+                }
+            }
+        }
+        let (old, forbidden) = gather_recode_inputs(net, &set);
+        let plan = plan_recode(&old, &forbidden, KEEP_WEIGHT);
+        for (i, &u) in set.iter().enumerate() {
+            net.assignment_mut().set(u, plan[i]);
+        }
+        RecodeOutcome::from_diff(net, &before)
+    }
+}
+
+impl RecodingStrategy for OracleMinim {
+    fn name(&self) -> &'static str {
+        "OracleMinim"
+    }
+
+    fn on_join_delta(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> EventEffect {
+        let delta = net.insert_node(id, cfg);
+        let outcome = Self::matching_recode(net, id);
+        EventEffect { delta, outcome }
+    }
+
+    fn on_leave_delta(&mut self, net: &mut Network, id: NodeId) -> EventEffect {
+        let before = net.snapshot_assignment();
+        let delta = net.remove_node(id);
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        EventEffect { delta, outcome }
+    }
+
+    fn on_move_delta(&mut self, net: &mut Network, id: NodeId, to: Point) -> EventEffect {
+        let delta = net.move_node(id, to);
+        let outcome = Self::matching_recode(net, id);
+        EventEffect { delta, outcome }
+    }
+
+    fn on_set_range_delta(&mut self, net: &mut Network, id: NodeId, range: f64) -> EventEffect {
+        let current = net.config(id).expect("node exists").range;
+        let dir = if range > current {
+            PowerDirection::Increase
+        } else if range < current {
+            PowerDirection::Decrease
+        } else {
+            PowerDirection::Unchanged
+        };
+        let before = net.snapshot_assignment();
+        let delta = net.set_range(id, range);
+        if dir == PowerDirection::Increase {
+            // The seed's logic: full constraint re-derivation, recode
+            // iff the current color clashes anywhere.
+            let constraints = conflict::constraint_colors(net.graph(), net.assignment(), id);
+            let current_color = net.assignment().get(id);
+            let clash = match current_color {
+                Some(c) => constraints.contains(&c),
+                None => true,
+            };
+            if clash {
+                let c = Color::lowest_excluding(constraints);
+                net.assignment_mut().set(id, c);
+            }
+        }
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        EventEffect { delta, outcome }
+    }
+}
+
+/// The CP baseline re-deriving duplicated in-neighbors and new
+/// conflict partners from the full graph every event.
+#[derive(Default)]
+struct OracleCp;
+
+impl OracleCp {
+    fn reselect(net: &mut Network, mut to_recolor: Vec<NodeId>) {
+        to_recolor.sort_unstable();
+        to_recolor.dedup();
+        for &u in &to_recolor {
+            net.assignment_mut().unset(u);
+        }
+        to_recolor.sort_unstable_by(|a, b| b.cmp(a));
+        for &u in &to_recolor {
+            let avoid: Vec<Color> = hops::within_hops(net.graph(), u, 2)
+                .into_iter()
+                .filter_map(|(v, _)| net.assignment().get(v))
+                .collect();
+            let c = Color::lowest_excluding(avoid);
+            net.assignment_mut().set(u, c);
+        }
+    }
+
+    fn join_recode(net: &mut Network, id: NodeId) {
+        let in_union = net.partitions(id).in_union(); // graph re-derivation
+        let mut by_color: std::collections::HashMap<Color, Vec<NodeId>> = Default::default();
+        for &u in &in_union {
+            if let Some(c) = net.assignment().get(u) {
+                by_color.entry(c).or_default().push(u);
+            }
+        }
+        let mut dup: Vec<NodeId> = by_color
+            .into_values()
+            .filter(|v| v.len() >= 2)
+            .flatten()
+            .collect();
+        dup.push(id);
+        Self::reselect(net, dup);
+    }
+}
+
+impl RecodingStrategy for OracleCp {
+    fn name(&self) -> &'static str {
+        "OracleCP"
+    }
+
+    fn on_join_delta(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> EventEffect {
+        let before = net.snapshot_assignment();
+        let delta = net.insert_node(id, cfg);
+        Self::join_recode(net, id);
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        EventEffect { delta, outcome }
+    }
+
+    fn on_leave_delta(&mut self, net: &mut Network, id: NodeId) -> EventEffect {
+        let before = net.snapshot_assignment();
+        let delta = net.remove_node(id);
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        EventEffect { delta, outcome }
+    }
+
+    fn on_move_delta(&mut self, net: &mut Network, id: NodeId, to: Point) -> EventEffect {
+        let before = net.snapshot_assignment();
+        net.assignment_mut().unset(id);
+        let delta = net.move_node(id, to);
+        Self::join_recode(net, id);
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        EventEffect { delta, outcome }
+    }
+
+    fn on_set_range_delta(&mut self, net: &mut Network, id: NodeId, range: f64) -> EventEffect {
+        let current = net.config(id).expect("node exists").range;
+        let increase = range > current;
+        let before = net.snapshot_assignment();
+        let partners_before = conflict::conflicts_of(net.graph(), id);
+        let delta = net.set_range(id, range);
+        if increase {
+            // Full re-derivation of the post-event conflict set.
+            let partners_after = conflict::conflicts_of(net.graph(), id);
+            let my_color = net.assignment().get(id);
+            let mut to_recolor: Vec<NodeId> = partners_after
+                .into_iter()
+                .filter(|p| partners_before.binary_search(p).is_err())
+                .filter(|&p| net.assignment().get(p) == my_color)
+                .collect();
+            let clash = !to_recolor.is_empty() || my_color.is_none();
+            if clash {
+                to_recolor.push(id);
+                Self::reselect(net, to_recolor);
+            }
+        }
+        let outcome = RecodeOutcome::from_diff(net, &before);
+        EventEffect { delta, outcome }
+    }
+}
+
+/// Runs one strategy over an event list, collecting every outcome.
+fn run_collect(
+    strategy: &mut dyn RecodingStrategy,
+    events: &[Event],
+) -> (Network, Vec<RecodeOutcome>) {
+    let mut net = Network::new(25.0);
+    let mut outcomes = Vec::with_capacity(events.len());
+    for e in events {
+        let (_, outcome) = strategy.apply(&mut net, e);
+        outcomes.push(outcome);
+    }
+    (net, outcomes)
+}
+
+/// The tentpole acceptance property: the delta-driven Minim is
+/// bit-identical — per-event outcomes and final assignment — to the
+/// full-rederivation oracle, across randomized mixed workloads.
+#[test]
+fn minim_delta_path_bit_identical_to_full_rederivation_oracle() {
+    for seed in 0..8 {
+        let events = mixed_events(seed, 30, 40);
+        let (net_d, out_d) = run_collect(&mut minim::core::Minim::default(), &events);
+        let (net_o, out_o) = run_collect(&mut OracleMinim, &events);
+        assert_eq!(out_d.len(), out_o.len());
+        for (i, (d, o)) in out_d.iter().zip(&out_o).enumerate() {
+            assert_eq!(d, o, "seed {seed}: outcome diverged at event {i}");
+        }
+        assert_eq!(
+            net_d.snapshot_assignment(),
+            net_o.snapshot_assignment(),
+            "seed {seed}: final assignments diverged"
+        );
+        assert!(net_d.validate().is_ok());
+    }
+}
+
+/// Same property for the CP baseline.
+#[test]
+fn cp_delta_path_bit_identical_to_full_rederivation_oracle() {
+    for seed in 20..26 {
+        let events = mixed_events(seed, 25, 30);
+        let (net_d, out_d) = run_collect(&mut minim::core::Cp::default(), &events);
+        let (net_o, out_o) = run_collect(&mut OracleCp, &events);
+        for (i, (d, o)) in out_d.iter().zip(&out_o).enumerate() {
+            assert_eq!(d, o, "seed {seed}: CP outcome diverged at event {i}");
+        }
+        assert_eq!(
+            net_d.snapshot_assignment(),
+            net_o.snapshot_assignment(),
+            "seed {seed}: CP final assignments diverged"
+        );
+        assert!(net_d.validate().is_ok());
+    }
+}

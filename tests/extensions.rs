@@ -51,7 +51,10 @@ fn obstacles_partition_the_code_space() {
     let out = minim.on_move(&mut net, wanderer, Point::new(85.0, 45.0));
     assert!(net.validate().is_ok());
     assert!(out.recodings() >= 1, "new room, new constraints");
-    assert!(net.max_color_index() >= 6, "the crowded room now needs a 6th code");
+    assert!(
+        net.max_color_index() >= 6,
+        "the crowded room now needs a 6th code"
+    );
 }
 
 /// All strategies behave correctly in an obstacle-rich arena.
@@ -60,7 +63,10 @@ fn strategies_work_with_obstacles() {
     for kind in StrategyKind::ALL {
         let mut net = Network::new(20.0);
         net.add_obstacle(Segment::new(Point::new(30.0, 0.0), Point::new(30.0, 70.0)));
-        net.add_obstacle(Segment::new(Point::new(70.0, 30.0), Point::new(70.0, 100.0)));
+        net.add_obstacle(Segment::new(
+            Point::new(70.0, 30.0),
+            Point::new(70.0, 100.0),
+        ));
         let mut strategy = kind.build();
         let mut rng = StdRng::seed_from_u64(7);
         for e in JoinWorkload::paper(40).generate(&mut rng) {

@@ -33,12 +33,8 @@ fn churn(kind: StrategyKind, steps: usize, seed: u64) {
             if roll < 0.5 {
                 strategy.on_leave(&mut net, victim);
             } else if roll < 0.75 {
-                let to = sample::random_move(
-                    &mut rng,
-                    net.config(victim).unwrap().pos,
-                    35.0,
-                    &arena,
-                );
+                let to =
+                    sample::random_move(&mut rng, net.config(victim).unwrap().pos, 35.0, &arena);
                 strategy.on_move(&mut net, victim, to);
             } else {
                 let r = net.config(victim).unwrap().range;

@@ -197,7 +197,10 @@ fn fig7_power_decrease_needs_no_recoding() {
         }
         net
     };
-    for strategy in [&mut Minim::default() as &mut dyn RecodingStrategy, &mut Cp::default()] {
+    for strategy in [
+        &mut Minim::default() as &mut dyn RecodingStrategy,
+        &mut Cp::default(),
+    ] {
         let mut net = build();
         let victim = net.node_ids()[3];
         let r = net.config(victim).unwrap().range;

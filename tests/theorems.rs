@@ -190,7 +190,11 @@ fn theorem_4_1_9_fresh_colors_are_consecutive() {
             .collect();
         fresh.sort_unstable();
         for w in fresh.windows(2) {
-            assert_eq!(w[1], w[0] + 1, "seed {seed}: fresh colors must be consecutive");
+            assert_eq!(
+                w[1],
+                w[0] + 1,
+                "seed {seed}: fresh colors must be consecutive"
+            );
         }
     }
 }
