@@ -1,0 +1,266 @@
+//! `minim-lab` — the scenario lab CLI.
+//!
+//! Lists, inspects, and runs declarative [`ScenarioSpec`]s: the named
+//! presets (the paper's Fig 10–12 sweeps plus the clustered /
+//! heterogeneous / churn / corridor extensions) or any JSON spec file.
+//!
+//! ```text
+//! minim-lab list
+//! minim-lab show <preset>
+//! minim-lab run <preset | spec.json> [--runs K] [--seed S] [--workers W]
+//!                                    [--format table|json|csv|all]
+//!                                    [--out DIR] [--quiet]
+//! ```
+//!
+//! * `list` — the preset catalog (name, sweep shape, summary).
+//! * `show` — a preset's JSON, which doubles as a spec-file template:
+//!   `minim-lab show clustered-churn > my.json`, edit, `run my.json`.
+//! * `run` — executes the sweep, streaming per-point progress to
+//!   stderr. `--runs/--seed/--workers` override the spec's defaults;
+//!   `--format` picks the stdout rendering (default `table`); `--out
+//!   DIR` additionally writes `<name>.json` and `<name>.csv`.
+
+use minim_sim::scenario::{Scenario, ScenarioSpec, SweepProgress, SweepResult};
+use minim_sim::{ascii_plot, presets};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "minim-lab — declarative scenario lab\n\n\
+         USAGE:\n  minim-lab list\n  minim-lab show <preset>\n  \
+         minim-lab run <preset | spec.json> [--runs K] [--seed S] [--workers W]\n\
+         \u{20}                                  [--format table|json|csv|all] [--out DIR] [--quiet]\n\n\
+         Presets: see `minim-lab list`. A spec file is the JSON printed by `show`."
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("minim-lab: {msg}");
+    std::process::exit(2);
+}
+
+fn sweep_shape(spec: &ScenarioSpec) -> String {
+    use minim_sim::SweepAxis;
+    match &spec.sweep {
+        SweepAxis::JoinCount(v) => format!("N x{}", v.len()),
+        SweepAxis::AvgRange(v) => format!("avgR x{}", v.len()),
+        SweepAxis::RaiseFactor(v) => format!("raisefactor x{}", v.len()),
+        SweepAxis::MaxDisp(v) => format!("maxdisp x{}", v.len()),
+        SweepAxis::Rounds(max) => format!("RoundNo 1..={max}"),
+        SweepAxis::MixSteps(v) => format!("steps x{}", v.len()),
+        SweepAxis::LongFraction(v) => format!("longfrac x{}", v.len()),
+        SweepAxis::Single => "single point".into(),
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    println!("{:<22} {:>6} {:<16} summary", "preset", "runs", "sweep");
+    for spec in presets::catalog() {
+        println!(
+            "{:<22} {:>6} {:<16} {}",
+            spec.name,
+            spec.runs,
+            sweep_shape(&spec),
+            spec.summary
+        );
+    }
+    println!("\nrun one with: minim-lab run <preset> [--runs K]");
+    ExitCode::SUCCESS
+}
+
+fn cmd_show(name: &str) -> ExitCode {
+    match presets::find(name) {
+        Some(spec) => {
+            println!("{}", spec.to_json_string());
+            ExitCode::SUCCESS
+        }
+        None => die(&format!(
+            "unknown preset {name:?}; `minim-lab list` shows the catalog"
+        )),
+    }
+}
+
+struct RunArgs {
+    target: String,
+    runs: Option<usize>,
+    seed: Option<u64>,
+    workers: Option<usize>,
+    format: String,
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_run_args(argv: &[String]) -> RunArgs {
+    let mut args = RunArgs {
+        target: String::new(),
+        runs: None,
+        seed: None,
+        workers: None,
+        format: "table".into(),
+        out: None,
+        quiet: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let parse_next = |i: &mut usize, what: &str| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--runs" => {
+                args.runs = Some(
+                    parse_next(&mut i, "--runs")
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| die("--runs needs a positive integer")),
+                )
+            }
+            "--seed" => {
+                args.seed = Some(
+                    parse_next(&mut i, "--seed")
+                        .parse()
+                        .unwrap_or_else(|_| die("--seed needs a non-negative integer")),
+                )
+            }
+            "--workers" => {
+                args.workers = Some(
+                    parse_next(&mut i, "--workers")
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| die("--workers needs a positive integer")),
+                )
+            }
+            "--format" => {
+                args.format = parse_next(&mut i, "--format");
+                if !matches!(args.format.as_str(), "table" | "json" | "csv" | "all") {
+                    die("--format must be table|json|csv|all");
+                }
+            }
+            "--out" => args.out = Some(PathBuf::from(parse_next(&mut i, "--out"))),
+            "--quiet" => args.quiet = true,
+            other if args.target.is_empty() && !other.starts_with('-') => {
+                args.target = other.to_string();
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    if args.target.is_empty() {
+        usage();
+    }
+    args
+}
+
+/// Resolves `run`'s target: a preset name first, then a spec file.
+fn resolve_spec(target: &str) -> ScenarioSpec {
+    if let Some(spec) = presets::find(target) {
+        return spec;
+    }
+    let path = Path::new(target);
+    if path.exists() {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+        return ScenarioSpec::from_json_str(&text)
+            .unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+    }
+    die(&format!(
+        "{target:?} is neither a preset (see `minim-lab list`) nor a spec file"
+    ))
+}
+
+fn cmd_run(argv: &[String]) -> ExitCode {
+    let args = parse_run_args(argv);
+    let spec = resolve_spec(&args.target);
+    let mut cfg = spec.default_config();
+    if let Some(runs) = args.runs {
+        cfg.runs = runs;
+    }
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    if let Some(workers) = args.workers {
+        cfg.workers = workers;
+    }
+    let scenario = Scenario::new(spec).unwrap_or_else(|e| die(&e.to_string()));
+    if !args.quiet {
+        eprintln!(
+            "minim-lab: {} — {} replicates/point, {} workers, seed {:#x}",
+            scenario.spec().name,
+            cfg.runs,
+            cfg.workers,
+            cfg.seed
+        );
+    }
+    let quiet = args.quiet;
+    let result = scenario.run_with_progress(&cfg, |p: SweepProgress| {
+        if !quiet {
+            eprintln!(
+                "minim-lab: [{}/{}] x = {} done ({} replicates, {:.1?} elapsed)",
+                p.done, p.total, p.x, p.replicates, p.elapsed
+            );
+        }
+    });
+    emit(&args, &result)
+}
+
+fn emit(args: &RunArgs, result: &SweepResult) -> ExitCode {
+    match args.format.as_str() {
+        "json" => println!("{}", result.to_json_string()),
+        "csv" => print!("{}", result.to_csv()),
+        "table" | "all" => {
+            let (colors, recodings) = result.tables();
+            println!("{}", colors.render());
+            println!("{}", recodings.render());
+            println!("{}", ascii_plot(&recodings, 64, 16));
+            println!(
+                "sweep: {} points, {} events, {} replicates/point, {:.1?} wall clock",
+                result.points.len(),
+                result.total_events,
+                result.runs,
+                result.wall_clock
+            );
+            if args.format == "all" {
+                println!("{}", result.to_json_string());
+                print!("{}", result.to_csv());
+            }
+        }
+        _ => unreachable!("validated in parse_run_args"),
+    }
+    if let Some(dir) = &args.out {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+        let json_path = dir.join(format!("{}.json", result.scenario));
+        let csv_path = dir.join(format!("{}.csv", result.scenario));
+        std::fs::write(&json_path, result.to_json_string())
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", json_path.display())));
+        std::fs::write(&csv_path, result.to_csv())
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", csv_path.display())));
+        if !args.quiet {
+            eprintln!(
+                "minim-lab: wrote {} and {}",
+                json_path.display(),
+                csv_path.display()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("show") => match argv.get(1) {
+            Some(name) => cmd_show(name),
+            None => usage(),
+        },
+        Some("run") => cmd_run(&argv[1..]),
+        _ => usage(),
+    }
+}

@@ -53,6 +53,33 @@ pub fn random_move<R: Rng + ?Sized>(rng: &mut R, from: Point, maxdisp: f64, aren
     arena.clamp(from.displaced(angle, disp))
 }
 
+/// Samples a standard normal deviate (mean 0, variance 1) via the
+/// Box–Muller transform.
+///
+/// Used by the clustered-deployment workloads: cluster members scatter
+/// around their center by `spread · N(0, 1)` per axis, the standard
+/// model for Poisson-clustered ad-hoc deployments.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log never sees zero.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a point normally distributed around `center` with standard
+/// deviation `spread` per axis, clamped into `arena`.
+pub fn clustered_point<R: Rng + ?Sized>(
+    rng: &mut R,
+    center: Point,
+    spread: f64,
+    arena: &Rect,
+) -> Point {
+    assert!(spread >= 0.0, "spread must be non-negative, got {spread}");
+    let dx = standard_normal(rng) * spread;
+    let dy = standard_normal(rng) * spread;
+    arena.clamp(center.translated(dx, dy))
+}
+
 /// Derives a decorrelated child seed from `(base, index)`.
 ///
 /// Used by the parallel experiment runner: replicate `i` of an
@@ -135,6 +162,41 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(uniform_point(&mut a, &arena), uniform_point(&mut b, &arena));
         }
+    }
+
+    #[test]
+    fn standard_normal_has_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn clustered_point_scatters_near_center_within_arena() {
+        let arena = Rect::paper_arena();
+        let center = Point::new(50.0, 50.0);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut mean_dist = 0.0;
+        for _ in 0..2000 {
+            let p = clustered_point(&mut rng, center, 5.0, &arena);
+            assert!(arena.contains(&p));
+            mean_dist += center.dist(&p);
+        }
+        mean_dist /= 2000.0;
+        // E[dist] for a 2-D gaussian with sigma=5 is 5·sqrt(pi/2) ≈ 6.27.
+        assert!((4.0..9.0).contains(&mean_dist), "mean dist = {mean_dist}");
+    }
+
+    #[test]
+    fn clustered_point_zero_spread_is_the_center() {
+        let arena = Rect::paper_arena();
+        let mut rng = StdRng::seed_from_u64(22);
+        let c = Point::new(30.0, 40.0);
+        assert_eq!(clustered_point(&mut rng, c, 0.0, &arena), c);
     }
 
     #[test]

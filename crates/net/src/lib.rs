@@ -27,7 +27,11 @@
 //! docs for the contract.
 //!
 //! [`event::Event`] reifies the four reconfiguration types;
-//! [`workload`] generates the randomized event sequences of §5.
+//! [`workload`] generates the randomized event sequences of §5 plus
+//! the scenario lab's richer regimes (clustered placement,
+//! heterogeneous ranges, interleaved churn).
+
+#![deny(missing_docs)]
 
 pub mod delta;
 pub mod event;

@@ -1,4 +1,7 @@
-//! Random workload generators matching §5 of the paper.
+//! Random workload generators matching §5 of the paper, plus the
+//! richer regimes the scenario lab sweeps over.
+//!
+//! The paper's three workloads:
 //!
 //! * [`JoinWorkload`] — §5.1: `N` nodes join consecutively, positions
 //!   uniform in the arena, ranges uniform in `(minr, maxr)`.
@@ -8,12 +11,24 @@
 //!   node once, in a random direction by a displacement uniform in
 //!   `[0, maxdisp]`.
 //!
+//! Extensions used by `minim-sim`'s declarative scenarios:
+//!
+//! * [`Placement`] — where joiners appear: uniform over the arena, or
+//!   clustered (gaussian scatter around sampled cluster centers, the
+//!   Poisson-clustered deployment model).
+//! * [`RangeDist`] — how transmission ranges are drawn: one uniform
+//!   interval, or a heterogeneous short/long population mix.
+//! * [`ChurnWorkload`] — sustained join/leave churn.
+//! * [`MixWorkload`] — fully interleaved churn: every step is a join,
+//!   a departure, or a single-node move, which exercises all of the
+//!   paper's event handlers against each other.
+//!
 //! Generators are deterministic given an `Rng`, and produce concrete
 //! event lists against the current network state.
 
 use crate::event::Event;
 use crate::{Network, NodeConfig};
-use minim_geom::{sample, Rect};
+use minim_geom::{sample, Point, Rect};
 use minim_graph::NodeId;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -206,6 +221,196 @@ impl ChurnWorkload {
     }
 }
 
+/// Where joining nodes are placed.
+///
+/// [`Placement::Uniform`] reproduces the paper's §5 deployment
+/// (positions independently uniform over the arena).
+/// [`Placement::Clustered`] scatters joiners gaussianly around a fixed
+/// set of cluster centers — the Poisson-clustered deployment model
+/// studied for discrete power control (Liu et al.), which produces
+/// dense conflict hot-spots instead of uniform density.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// Uniform over the arena (paper default).
+    Uniform {
+        /// Deployment arena.
+        arena: Rect,
+    },
+    /// Gaussian scatter of `spread` per axis around a uniformly random
+    /// cluster center per join, clamped to the arena.
+    Clustered {
+        /// Cluster centers (sampled once per replicate by the caller).
+        centers: Vec<Point>,
+        /// Per-axis standard deviation of the member scatter.
+        spread: f64,
+        /// Deployment arena (members are clamped into it).
+        arena: Rect,
+    },
+}
+
+impl Placement {
+    /// The deployment arena.
+    pub fn arena(&self) -> &Rect {
+        match self {
+            Placement::Uniform { arena } => arena,
+            Placement::Clustered { arena, .. } => arena,
+        }
+    }
+
+    /// Samples one joiner position.
+    ///
+    /// # Panics
+    /// Panics on a clustered placement with no centers.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        match self {
+            Placement::Uniform { arena } => sample::uniform_point(rng, arena),
+            Placement::Clustered {
+                centers,
+                spread,
+                arena,
+            } => {
+                assert!(!centers.is_empty(), "clustered placement needs centers");
+                let center = centers[rng.gen_range(0..centers.len())];
+                sample::clustered_point(rng, center, *spread, arena)
+            }
+        }
+    }
+}
+
+/// How joiner transmission ranges are drawn.
+///
+/// [`RangeDist::Interval`] is the paper's `(minr, maxr)` uniform draw.
+/// [`RangeDist::Heterogeneous`] mixes a short-range majority with a
+/// long-range minority (relays/gateways), the regime where power
+/// heterogeneity drives asymmetric `1n`/`3n` partitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RangeDist {
+    /// Uniform over `(minr, maxr)` — the paper's distribution.
+    Interval {
+        /// Lower range bound.
+        minr: f64,
+        /// Upper range bound.
+        maxr: f64,
+    },
+    /// With probability `long_fraction` draw uniformly from `long`,
+    /// otherwise from `short`. Both are `(min, max)` intervals.
+    Heterogeneous {
+        /// Range interval of the short-range majority.
+        short: (f64, f64),
+        /// Range interval of the long-range minority.
+        long: (f64, f64),
+        /// Probability that a joiner belongs to the long-range class.
+        long_fraction: f64,
+    },
+}
+
+impl RangeDist {
+    /// The paper's default interval `(20.5, 30.5)`.
+    pub fn paper() -> Self {
+        RangeDist::Interval {
+            minr: 20.5,
+            maxr: 30.5,
+        }
+    }
+
+    /// Samples one transmission range.
+    ///
+    /// # Panics
+    /// Panics on invalid intervals or a `long_fraction` outside `[0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            RangeDist::Interval { minr, maxr } => sample::uniform_range(rng, minr, maxr),
+            RangeDist::Heterogeneous {
+                short,
+                long,
+                long_fraction,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(&long_fraction),
+                    "long_fraction must be a probability, got {long_fraction}"
+                );
+                if rng.gen_bool(long_fraction) {
+                    sample::uniform_range(rng, long.0, long.1)
+                } else {
+                    sample::uniform_range(rng, short.0, short.1)
+                }
+            }
+        }
+    }
+
+    /// An upper bound on any sampled range — used to size spatial-grid
+    /// cells before the first draw.
+    pub fn upper_bound(&self) -> f64 {
+        match *self {
+            RangeDist::Interval { maxr, .. } => maxr,
+            RangeDist::Heterogeneous { short, long, .. } => short.1.max(long.1),
+        }
+    }
+}
+
+/// Fully interleaved churn: every step is a join (probability
+/// `join_prob`), a departure of a random present node (`leave_prob`),
+/// or a single random-displacement move of a present node (the
+/// remainder). On an empty network every step is a join.
+///
+/// This is the workload the paper's evaluation never runs — all four
+/// event handlers firing against each other in one stream — and the
+/// one long-lived deployments actually see.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixWorkload {
+    /// Number of steps to generate.
+    pub steps: usize,
+    /// Probability that a step is a join.
+    pub join_prob: f64,
+    /// Probability that a step is a departure.
+    pub leave_prob: f64,
+    /// Maximum displacement of a move step.
+    pub maxdisp: f64,
+    /// Placement of joiners.
+    pub placement: Placement,
+    /// Range distribution of joiners.
+    pub ranges: RangeDist,
+}
+
+impl MixWorkload {
+    /// Generates the next step against the current network state (leave
+    /// and move targets depend on who is present, so the mix is
+    /// generated step by step).
+    ///
+    /// # Panics
+    /// Panics if the probabilities are negative or sum past 1.
+    pub fn next_event<R: Rng + ?Sized>(&self, net: &Network, rng: &mut R) -> Event {
+        assert!(
+            self.join_prob >= 0.0 && self.leave_prob >= 0.0,
+            "probabilities must be non-negative"
+        );
+        assert!(
+            self.join_prob + self.leave_prob <= 1.0 + 1e-12,
+            "join_prob + leave_prob must be <= 1, got {} + {}",
+            self.join_prob,
+            self.leave_prob
+        );
+        let ids = net.node_ids();
+        let u: f64 = rng.gen();
+        if ids.is_empty() || u < self.join_prob {
+            Event::Join {
+                cfg: NodeConfig::new(self.placement.sample(rng), self.ranges.sample(rng)),
+            }
+        } else if u < self.join_prob + self.leave_prob {
+            Event::Leave {
+                node: ids[rng.gen_range(0..ids.len())],
+            }
+        } else {
+            let node = ids[rng.gen_range(0..ids.len())];
+            let from = net.config(node).expect("listed node exists").pos;
+            Event::Move {
+                node,
+                to: sample::random_move(rng, from, self.maxdisp, self.placement.arena()),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +539,98 @@ mod tests {
             crate::event::apply_topology(&mut net, &e);
         }
         assert_eq!(net.node_count(), 30);
+    }
+
+    #[test]
+    fn clustered_placement_concentrates_density() {
+        let arena = Rect::paper_arena();
+        let centers = vec![Point::new(20.0, 20.0), Point::new(80.0, 80.0)];
+        let placement = Placement::Clustered {
+            centers: centers.clone(),
+            spread: 4.0,
+            arena,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut near = 0usize;
+        for _ in 0..500 {
+            let p = placement.sample(&mut rng);
+            assert!(arena.contains(&p));
+            if centers.iter().any(|c| c.dist(&p) < 16.0) {
+                near += 1;
+            }
+        }
+        // 4 sigma covers essentially everything.
+        assert!(near > 480, "only {near}/500 samples near a center");
+    }
+
+    #[test]
+    fn heterogeneous_ranges_hit_both_classes() {
+        let dist = RangeDist::Heterogeneous {
+            short: (8.0, 12.0),
+            long: (30.0, 40.0),
+            long_fraction: 0.3,
+        };
+        assert_eq!(dist.upper_bound(), 40.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut longs = 0usize;
+        for _ in 0..1000 {
+            let r = dist.sample(&mut rng);
+            assert!((8.0..12.0).contains(&r) || (30.0..40.0).contains(&r));
+            if r >= 30.0 {
+                longs += 1;
+            }
+        }
+        assert!((200..400).contains(&longs), "long draws = {longs}");
+    }
+
+    #[test]
+    fn mix_workload_interleaves_all_event_kinds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut net = Network::new(25.0);
+        let w = MixWorkload {
+            steps: 300,
+            join_prob: 0.4,
+            leave_prob: 0.2,
+            maxdisp: 20.0,
+            placement: Placement::Uniform {
+                arena: Rect::paper_arena(),
+            },
+            ranges: RangeDist::paper(),
+        };
+        let (mut joins, mut leaves, mut moves) = (0usize, 0usize, 0usize);
+        for _ in 0..w.steps {
+            let e = w.next_event(&net, &mut rng);
+            match &e {
+                Event::Join { .. } => joins += 1,
+                Event::Leave { .. } => leaves += 1,
+                Event::Move { .. } => moves += 1,
+                Event::SetRange { .. } => panic!("mix never changes power"),
+            }
+            crate::event::apply_topology(&mut net, &e);
+        }
+        assert_eq!(joins + leaves + moves, 300);
+        assert!(joins > 60 && leaves > 20 && moves > 60);
+        // Leaves never outnumber joins (they only target present nodes).
+        assert_eq!(net.node_count(), joins - leaves);
+    }
+
+    #[test]
+    #[should_panic(expected = "join_prob + leave_prob")]
+    fn mix_workload_rejects_overweight_probabilities() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut net = Network::new(25.0);
+        net.join(NodeConfig::new(Point::new(1.0, 1.0), 5.0));
+        let w = MixWorkload {
+            steps: 1,
+            join_prob: 0.7,
+            leave_prob: 0.7,
+            maxdisp: 5.0,
+            placement: Placement::Uniform {
+                arena: Rect::paper_arena(),
+            },
+            ranges: RangeDist::paper(),
+        };
+        let _ = w.next_event(&net, &mut rng);
     }
 
     #[test]

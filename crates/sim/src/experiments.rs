@@ -1,68 +1,48 @@
-//! One function per figure of the paper's evaluation (§5), plus the
-//! ablation and extension studies from DESIGN.md.
+//! The paper's §5 figures as thin wrappers over the scenario lab,
+//! plus the ablation and extension studies from DESIGN.md.
 //!
-//! Every figure point is the average of `ExperimentConfig::runs`
+//! Since the scenario-lab refactor the figure drivers no longer own
+//! their event loops: each `fig*` function instantiates the matching
+//! [`crate::presets`] entry, runs it through
+//! [`Scenario::run`](crate::scenario::Scenario::run), and re-labels
+//! the resulting tables with the paper's figure titles. The presets
+//! are pinned point-for-point to the original hand-coded drivers by
+//! `tests/preset_equivalence.rs`.
+//!
+//! Every figure point is the average of [`ExperimentConfig::runs`]
 //! replicates (the paper uses 100) on freshly generated random
 //! networks. Replicates are *paired* across strategies: each replicate
 //! generates one event sequence and feeds the identical sequence to
 //! Minim, CP, and BBB, which reduces comparison variance (topology is
 //! strategy-independent, so this is sound).
 //!
-//! Figure → function map:
+//! Figure → preset map:
 //!
-//! | Figure | Function | Sweep |
-//! |---|---|---|
-//! | 10(a,b,c) | [`fig10_vs_n`] | `N` joins, `minr=20.5, maxr=30.5` |
-//! | 10(d,e,f) | [`fig10_vs_avg_range`] | avg range, `N=100`, width 5 |
-//! | 11(a,b,c) | [`fig11_power_increase`] | `raisefactor`, `N=100` |
-//! | 12(a) | [`fig12_vs_maxdisp`] | `maxdisp`, `N=40`, 1 round |
-//! | 12(b,c,d) | [`fig12_vs_rounds`] | `RoundNo`, `N=40`, `maxdisp=40` |
+//! | Figure | Function | Preset | Sweep |
+//! |---|---|---|---|
+//! | 10(a,b,c) | [`fig10_vs_n`] | `fig10-vs-n` | `N` joins, `minr=20.5, maxr=30.5` |
+//! | 10(d,e,f) | [`fig10_vs_avg_range`] | `fig10-vs-avg-range` | avg range, `N=100`, width 5 |
+//! | 11(a,b,c) | [`fig11_power_increase`] | `fig11-power-increase` | `raisefactor`, `N=100` |
+//! | 12(a) | [`fig12_vs_maxdisp`] | `fig12-vs-maxdisp` | `maxdisp`, `N=40`, 1 round |
+//! | 12(b,c,d) | [`fig12_vs_rounds`] | `fig12-vs-rounds` | `RoundNo`, `N=40`, `maxdisp=40` |
+//!
+//! The ablation and extension studies below predate the lab and still
+//! drive [`parallel_map`] directly; they are the next candidates for
+//! spec-ification.
+
+pub use crate::scenario::ExperimentConfig;
 
 use crate::metrics::{Stats, Table};
-use crate::par::{default_workers, parallel_map};
-use crate::runner::{pregenerate_movement_rounds, run_events, PhaseMetrics};
+use crate::par::parallel_map;
+use crate::runner::{pregenerate_movement_rounds, run_events};
+use crate::scenario::Scenario;
+use crate::{presets, scenario};
 use minim_core::gossip::GossipCompactor;
 use minim_core::{Cp, Minim, StrategyKind};
-use minim_geom::sample::child_seed;
-use minim_net::workload::{JoinWorkload, MovementWorkload, PowerRaiseWorkload};
+use minim_net::workload::{JoinWorkload, MovementWorkload};
 use minim_net::Network;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-/// Shared experiment parameters.
-#[derive(Debug, Clone, Copy)]
-pub struct ExperimentConfig {
-    /// Replicates per figure point (paper: 100).
-    pub runs: usize,
-    /// Master seed; every replicate derives a child seed from it.
-    pub seed: u64,
-    /// Worker threads for the replicate fan-out.
-    pub workers: usize,
-}
-
-impl ExperimentConfig {
-    /// The paper's protocol: 100 runs per point.
-    pub fn paper() -> Self {
-        ExperimentConfig {
-            runs: 100,
-            seed: 0x2001_0113, // January 2001, the TR date
-            workers: default_workers(),
-        }
-    }
-
-    /// A fast configuration for smoke tests and CI.
-    pub fn quick() -> Self {
-        ExperimentConfig {
-            runs: 8,
-            seed: 0x2001_0113,
-            workers: default_workers(),
-        }
-    }
-
-    fn replicate_seed(&self, point: usize, rep: usize) -> u64 {
-        child_seed(self.seed, ((point as u64) << 32) | rep as u64)
-    }
-}
 
 /// Results for a join-phase figure: absolute max color and total
 /// recodings per strategy.
@@ -87,84 +67,36 @@ fn all_labels() -> Vec<String> {
     StrategyKind::ALL.iter().map(|k| k.label().into()).collect()
 }
 
-/// Runs one join-phase replicate: the same event list through all
-/// three strategies. Returns `(max_color, recodings)` per strategy.
-fn join_replicate(workload: &JoinWorkload, seed: u64) -> Vec<(f64, f64)> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let events = workload.generate(&mut rng);
-    StrategyKind::ALL
-        .iter()
-        .map(|kind| {
-            let mut net = Network::new(workload.maxr.max(1.0));
-            let mut s = kind.build();
-            let m = run_events(&mut *s, &mut net, &events);
-            (m.max_color as f64, m.recodings as f64)
-        })
-        .collect()
+fn run_preset(spec: scenario::ScenarioSpec, cfg: &ExperimentConfig) -> scenario::SweepResult {
+    Scenario::new(spec)
+        .expect("figure presets are valid by construction")
+        .run(cfg)
 }
 
-fn aggregate_join_points(
-    cfg: &ExperimentConfig,
-    points: &[(f64, JoinWorkload)],
-    title_colors: &str,
-    title_recodings: &str,
-    x_label: &str,
-) -> JoinFigures {
-    let jobs: Vec<(usize, JoinWorkload, u64)> = points
-        .iter()
-        .enumerate()
-        .flat_map(|(pi, &(_, w))| {
-            (0..cfg.runs).map(move |rep| (pi, w, cfg.replicate_seed(pi, rep)))
-        })
-        .collect();
-    let results = parallel_map(&jobs, cfg.workers, |&(pi, w, seed)| {
-        (pi, join_replicate(&w, seed))
-    });
-
-    let mut colors = Table::new(title_colors, x_label, all_labels());
-    let mut recodings = Table::new(title_recodings, x_label, all_labels());
-    for (pi, &(x, _)) in points.iter().enumerate() {
-        let mut color_samples = vec![Vec::new(); StrategyKind::ALL.len()];
-        let mut recode_samples = vec![Vec::new(); StrategyKind::ALL.len()];
-        for (rpi, reps) in &results {
-            if *rpi == pi {
-                for (si, &(c, r)) in reps.iter().enumerate() {
-                    color_samples[si].push(c);
-                    recode_samples[si].push(r);
-                }
-            }
-        }
-        colors.push_row(
-            x,
-            color_samples
-                .iter()
-                .map(|s| Stats::from_samples(s))
-                .collect(),
-        );
-        recodings.push_row(
-            x,
-            recode_samples
-                .iter()
-                .map(|s| Stats::from_samples(s))
-                .collect(),
-        );
+/// An empty-sweep figure result (zero rows, correct headers) — what
+/// the pre-lab drivers returned for an empty sweep-value slice, which
+/// `Scenario::new` would otherwise reject.
+fn empty_figures(title_colors: &str, title_recodings: &str, x_label: &str) -> JoinFigures {
+    JoinFigures {
+        colors: Table::new(title_colors, x_label, all_labels()),
+        recodings: Table::new(title_recodings, x_label, all_labels()),
     }
-    JoinFigures { colors, recodings }
 }
 
 /// Fig 10(a–c): `N` nodes join consecutively; sweep `N`.
 pub fn fig10_vs_n(cfg: &ExperimentConfig, ns: &[usize]) -> JoinFigures {
-    let points: Vec<(f64, JoinWorkload)> = ns
-        .iter()
-        .map(|&n| (n as f64, JoinWorkload::paper(n)))
-        .collect();
-    aggregate_join_points(
-        cfg,
-        &points,
+    let (tc, tr) = (
         "Fig 10(a) max color index vs N",
         "Fig 10(b,c) total recodings vs N",
-        "N",
-    )
+    );
+    if ns.is_empty() {
+        return empty_figures(tc, tr, "N");
+    }
+    let r = run_preset(presets::fig10_vs_n(ns.to_vec()), cfg);
+    JoinFigures {
+        colors: r.color_table(tc),
+        recodings: r.recoding_table(tr),
+    }
 }
 
 /// The paper's Fig 10(a–c) sweep values.
@@ -175,17 +107,18 @@ pub fn paper_fig10_ns() -> Vec<usize> {
 /// Fig 10(d–f): `N = 100` joins; sweep the average transmission range
 /// with a width-5 interval.
 pub fn fig10_vs_avg_range(cfg: &ExperimentConfig, avg_rs: &[f64], n: usize) -> JoinFigures {
-    let points: Vec<(f64, JoinWorkload)> = avg_rs
-        .iter()
-        .map(|&r| (r, JoinWorkload::with_avg_range(n, r)))
-        .collect();
-    aggregate_join_points(
-        cfg,
-        &points,
+    let (tc, tr) = (
         "Fig 10(d) max color index vs avg range",
         "Fig 10(e,f) total recodings vs avg range",
-        "avgR",
-    )
+    );
+    if avg_rs.is_empty() {
+        return empty_figures(tc, tr, "avgR");
+    }
+    let r = run_preset(presets::fig10_vs_avg_range(avg_rs.to_vec(), n), cfg);
+    JoinFigures {
+        colors: r.color_table(tc),
+        recodings: r.recoding_table(tr),
+    }
 }
 
 /// The paper's Fig 10(d–f) sweep values (5 .. 65).
@@ -193,76 +126,24 @@ pub fn paper_fig10_avg_ranges() -> Vec<f64> {
     (1..=13).map(|k| k as f64 * 5.0).collect()
 }
 
-/// One Fig 11 replicate: build each strategy's base (`n` joins), then
-/// raise half the nodes' ranges by `factor` with the same victim list.
-/// Returns `(Δ max color, Δ recodings)` per strategy.
-fn power_replicate(n: usize, factor: f64, seed: u64) -> Vec<(f64, f64)> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let workload = JoinWorkload::paper(n);
-    let join_events = workload.generate(&mut rng);
-
-    // Bases: one per strategy, identical topology.
-    let mut bases: Vec<Network> = Vec::new();
-    for kind in StrategyKind::ALL {
-        let mut net = Network::new(workload.maxr.max(1.0));
-        let mut s = kind.build();
-        run_events(&mut *s, &mut net, &join_events);
-        bases.push(net);
-    }
-    // One victim list for everyone (topology is shared).
-    let raises = PowerRaiseWorkload::paper(factor).generate(&bases[0], &mut rng);
-
-    StrategyKind::ALL
-        .iter()
-        .zip(bases)
-        .map(|(kind, mut net)| {
-            let base_color = net.max_color_index() as f64;
-            let mut s = kind.build();
-            let m = run_events(&mut *s, &mut net, &raises);
-            (m.max_color as f64 - base_color, m.recodings as f64)
-        })
-        .collect()
-}
-
 /// Fig 11(a–c): power-increase phase after an `N = 100` join phase;
 /// sweep `raisefactor`.
 pub fn fig11_power_increase(cfg: &ExperimentConfig, factors: &[f64], n: usize) -> DeltaFigures {
-    let jobs: Vec<(usize, f64, u64)> = factors
-        .iter()
-        .enumerate()
-        .flat_map(|(pi, &f)| (0..cfg.runs).map(move |rep| (pi, f, cfg.replicate_seed(pi, rep))))
-        .collect();
-    let results = parallel_map(&jobs, cfg.workers, |&(pi, f, seed)| {
-        (pi, power_replicate(n, f, seed))
-    });
-
-    let mut dcolors = Table::new(
+    let (tc, tr) = (
         "Fig 11(a) delta max color index vs raisefactor",
-        "raisefactor",
-        all_labels(),
-    );
-    let mut drecodings = Table::new(
         "Fig 11(b,c) delta recodings vs raisefactor",
-        "raisefactor",
-        all_labels(),
     );
-    for (pi, &x) in factors.iter().enumerate() {
-        let mut dc = vec![Vec::new(); StrategyKind::ALL.len()];
-        let mut dr = vec![Vec::new(); StrategyKind::ALL.len()];
-        for (rpi, reps) in &results {
-            if *rpi == pi {
-                for (si, &(c, r)) in reps.iter().enumerate() {
-                    dc[si].push(c);
-                    dr[si].push(r);
-                }
-            }
-        }
-        dcolors.push_row(x, dc.iter().map(|s| Stats::from_samples(s)).collect());
-        drecodings.push_row(x, dr.iter().map(|s| Stats::from_samples(s)).collect());
+    if factors.is_empty() {
+        let f = empty_figures(tc, tr, "raisefactor");
+        return DeltaFigures {
+            dcolors: f.colors,
+            drecodings: f.recodings,
+        };
     }
+    let r = run_preset(presets::fig11_power_increase(factors.to_vec(), n), cfg);
     DeltaFigures {
-        dcolors,
-        drecodings,
+        dcolors: r.color_table(tc),
+        drecodings: r.recoding_table(tr),
     }
 }
 
@@ -271,85 +152,23 @@ pub fn paper_fig11_factors() -> Vec<f64> {
     vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0]
 }
 
-/// One movement replicate: build each strategy's base (`n` joins),
-/// pre-generate `rounds` identical movement rounds, replay them per
-/// strategy. Returns cumulative `(Δ max color, Δ recodings)` per
-/// strategy, **after each round** (so one run yields every `RoundNo`
-/// point of Fig 12(b–d); this is statistically equivalent to separate
-/// runs with shared seeds and considerably cheaper).
-fn movement_replicate(n: usize, maxdisp: f64, rounds: usize, seed: u64) -> Vec<Vec<(f64, f64)>> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let workload = JoinWorkload::paper(n);
-    let join_events = workload.generate(&mut rng);
-
-    let mut bases: Vec<Network> = Vec::new();
-    for kind in StrategyKind::ALL {
-        let mut net = Network::new(workload.maxr.max(1.0));
-        let mut s = kind.build();
-        run_events(&mut *s, &mut net, &join_events);
-        bases.push(net);
-    }
-    let move_workload = MovementWorkload::paper(maxdisp, rounds);
-    let round_events = pregenerate_movement_rounds(&bases[0], &move_workload, rounds, &mut rng);
-
-    StrategyKind::ALL
-        .iter()
-        .zip(bases)
-        .map(|(kind, mut net)| {
-            let base_color = net.max_color_index() as f64;
-            let mut s = kind.build();
-            let mut cumulative_recodings = 0.0;
-            round_events
-                .iter()
-                .map(|events| {
-                    let m: PhaseMetrics = run_events(&mut *s, &mut net, events);
-                    cumulative_recodings += m.recodings as f64;
-                    (m.max_color as f64 - base_color, cumulative_recodings)
-                })
-                .collect()
-        })
-        .collect()
-}
-
 /// Fig 12(a): one movement round, sweep `maxdisp` (`N = 40`).
 pub fn fig12_vs_maxdisp(cfg: &ExperimentConfig, maxdisps: &[f64], n: usize) -> DeltaFigures {
-    let jobs: Vec<(usize, f64, u64)> = maxdisps
-        .iter()
-        .enumerate()
-        .flat_map(|(pi, &d)| (0..cfg.runs).map(move |rep| (pi, d, cfg.replicate_seed(pi, rep))))
-        .collect();
-    let results = parallel_map(&jobs, cfg.workers, |&(pi, d, seed)| {
-        (pi, movement_replicate(n, d, 1, seed))
-    });
-
-    let mut dcolors = Table::new(
+    let (tc, tr) = (
         "Fig 12(a aux) delta max color index vs maxdisp",
-        "maxdisp",
-        all_labels(),
-    );
-    let mut drecodings = Table::new(
         "Fig 12(a) delta recodings vs maxdisp",
-        "maxdisp",
-        all_labels(),
     );
-    for (pi, &x) in maxdisps.iter().enumerate() {
-        let mut dc = vec![Vec::new(); StrategyKind::ALL.len()];
-        let mut dr = vec![Vec::new(); StrategyKind::ALL.len()];
-        for (rpi, reps) in &results {
-            if *rpi == pi {
-                for (si, per_round) in reps.iter().enumerate() {
-                    let (c, r) = per_round[0];
-                    dc[si].push(c);
-                    dr[si].push(r);
-                }
-            }
-        }
-        dcolors.push_row(x, dc.iter().map(|s| Stats::from_samples(s)).collect());
-        drecodings.push_row(x, dr.iter().map(|s| Stats::from_samples(s)).collect());
+    if maxdisps.is_empty() {
+        let f = empty_figures(tc, tr, "maxdisp");
+        return DeltaFigures {
+            dcolors: f.colors,
+            drecodings: f.recodings,
+        };
     }
+    let r = run_preset(presets::fig12_vs_maxdisp(maxdisps.to_vec(), n), cfg);
     DeltaFigures {
-        dcolors,
-        drecodings,
+        dcolors: r.color_table(tc),
+        drecodings: r.recoding_table(tr),
     }
 }
 
@@ -366,45 +185,21 @@ pub fn fig12_vs_rounds(
     n: usize,
     maxdisp: f64,
 ) -> DeltaFigures {
-    let jobs: Vec<u64> = (0..cfg.runs)
-        .map(|rep| cfg.replicate_seed(0, rep))
-        .collect();
-    let results = parallel_map(&jobs, cfg.workers, |&seed| {
-        movement_replicate(n, maxdisp, max_rounds, seed)
-    });
-
-    let mut dcolors = Table::new(
+    let (tc, tr) = (
         "Fig 12(b) delta max color index vs RoundNo",
-        "RoundNo",
-        all_labels(),
-    );
-    let mut drecodings = Table::new(
         "Fig 12(c,d) delta recodings vs RoundNo",
-        "RoundNo",
-        all_labels(),
     );
-    for round in 0..max_rounds {
-        let mut dc = vec![Vec::new(); StrategyKind::ALL.len()];
-        let mut dr = vec![Vec::new(); StrategyKind::ALL.len()];
-        for reps in &results {
-            for (si, per_round) in reps.iter().enumerate() {
-                let (c, r) = per_round[round];
-                dc[si].push(c);
-                dr[si].push(r);
-            }
-        }
-        dcolors.push_row(
-            (round + 1) as f64,
-            dc.iter().map(|s| Stats::from_samples(s)).collect(),
-        );
-        drecodings.push_row(
-            (round + 1) as f64,
-            dr.iter().map(|s| Stats::from_samples(s)).collect(),
-        );
+    if max_rounds == 0 {
+        let f = empty_figures(tc, tr, "RoundNo");
+        return DeltaFigures {
+            dcolors: f.colors,
+            drecodings: f.recodings,
+        };
     }
+    let r = run_preset(presets::fig12_vs_rounds(max_rounds, n, maxdisp), cfg);
     DeltaFigures {
-        dcolors,
-        drecodings,
+        dcolors: r.color_table(tc),
+        drecodings: r.recoding_table(tr),
     }
 }
 
@@ -737,6 +532,23 @@ mod tests {
         }
     }
 
+    /// One join-phase replicate, the way the pre-lab driver ran it:
+    /// the same event list through all three strategies. Returns
+    /// `(max_color, recodings)` per strategy.
+    fn join_replicate(workload: &JoinWorkload, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let events = workload.generate(&mut rng);
+        StrategyKind::ALL
+            .iter()
+            .map(|kind| {
+                let mut net = Network::new(workload.maxr.max(1.0));
+                let mut s = kind.build();
+                let m = run_events(&mut *s, &mut net, &events);
+                (m.max_color as f64, m.recodings as f64)
+            })
+            .collect()
+    }
+
     #[test]
     fn fig10_shapes_hold_on_small_config() {
         // Minim is provably minimal per event but the three strategies
@@ -877,6 +689,21 @@ mod tests {
         let cmp = paired_compare(&a, &b);
         assert_eq!(cmp.n, cfg.runs);
         assert!(cmp.wins_b <= cmp.n, "sanity");
+    }
+
+    #[test]
+    fn empty_sweeps_return_empty_tables_not_panics() {
+        // The pre-lab drivers tolerated empty sweep inputs; the preset
+        // adapters must too (Scenario::new itself rejects empty sweeps,
+        // so the wrappers short-circuit).
+        let cfg = tiny();
+        assert!(fig10_vs_n(&cfg, &[]).colors.rows.is_empty());
+        assert!(fig10_vs_avg_range(&cfg, &[], 40).recodings.rows.is_empty());
+        assert!(fig11_power_increase(&cfg, &[], 40).dcolors.rows.is_empty());
+        assert!(fig12_vs_maxdisp(&cfg, &[], 20).drecodings.rows.is_empty());
+        let rounds = fig12_vs_rounds(&cfg, 0, 20, 40.0);
+        assert!(rounds.dcolors.rows.is_empty());
+        assert_eq!(rounds.dcolors.x_label, "RoundNo");
     }
 
     #[test]

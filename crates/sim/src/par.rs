@@ -1,9 +1,12 @@
 //! Deterministic parallel job execution.
 //!
-//! Every figure point averages 100 independent replicates; replicates
-//! across points are independent too, so the whole sweep is an
-//! embarrassingly parallel bag of jobs. We run it on a
-//! `std::thread::scope` worker pool: workers pull job indices from an
+//! Every sweep point — whether a paper figure or a scenario-lab spec —
+//! averages many independent replicates, and replicates across points
+//! are independent too, so a whole sweep is an embarrassingly parallel
+//! bag of jobs. Both the scenario driver
+//! ([`crate::scenario::Scenario::run`]) and the remaining hand-coded
+//! studies in [`crate::experiments`] fan out through this worker pool:
+//! a `std::thread::scope` where workers pull job indices from an
 //! atomic counter and write results into a pre-sized slot vector
 //! behind a mutex (taken once per job completion — the hot path, the
 //! simulation itself, holds no locks).

@@ -1,0 +1,195 @@
+//! The named scenario catalog: the paper's Fig 10–12 sweeps as
+//! [`ScenarioSpec`] presets, plus the extension regimes related work
+//! points at (clustered deployments, heterogeneous ranges, interleaved
+//! churn, corridors with obstacles).
+//!
+//! `minim-lab list` prints this catalog; `minim-lab run <name>` runs
+//! an entry; the figure wrappers in [`crate::experiments`] are thin
+//! adapters over the `fig*` entries. Every preset is an ordinary
+//! spec — `minim-lab show <name>` dumps its JSON, which doubles as a
+//! spec-file template.
+
+use crate::experiments::{
+    paper_fig10_avg_ranges, paper_fig10_ns, paper_fig11_factors, paper_fig12_maxdisps,
+};
+use crate::scenario::{Measure, PhaseSpec, ScenarioSpec, SweepAxis, TopologyFamily};
+use minim_net::workload::RangeDist;
+
+/// Fig 10(a–c): `n` nodes join consecutively; sweep `N`.
+pub fn fig10_vs_n(ns: Vec<usize>) -> ScenarioSpec {
+    ScenarioSpec::new("fig10-vs-n")
+        .summary("Fig 10(a-c): consecutive joins, sweep N")
+        .measured_phase(PhaseSpec::Join { count: 0 })
+        .sweep(SweepAxis::JoinCount(ns))
+}
+
+/// Fig 10(d–f): `n` joins; sweep the average transmission range.
+pub fn fig10_vs_avg_range(avg_rs: Vec<f64>, n: usize) -> ScenarioSpec {
+    ScenarioSpec::new("fig10-vs-avg-range")
+        .summary("Fig 10(d-f): joins at N=100, sweep average range (width-5 interval)")
+        .measured_phase(PhaseSpec::Join { count: n })
+        .sweep(SweepAxis::AvgRange(avg_rs))
+}
+
+/// Fig 11(a–c): power raises on half the nodes after an `n`-join base;
+/// sweep `raisefactor`.
+pub fn fig11_power_increase(factors: Vec<f64>, n: usize) -> ScenarioSpec {
+    ScenarioSpec::new("fig11-power-increase")
+        .summary("Fig 11(a-c): power raise on half the nodes after N=100 joins, sweep raisefactor")
+        .base_phase(PhaseSpec::Join { count: n })
+        .measured_phase(PhaseSpec::PowerRaise {
+            fraction: 0.5,
+            factor: 1.0,
+        })
+        .measure(Measure::DeltaFromBase)
+        .sweep(SweepAxis::RaiseFactor(factors))
+}
+
+/// Fig 12(a): one movement round after an `n`-join base; sweep
+/// `maxdisp`.
+pub fn fig12_vs_maxdisp(maxdisps: Vec<f64>, n: usize) -> ScenarioSpec {
+    ScenarioSpec::new("fig12-vs-maxdisp")
+        .summary("Fig 12(a): one movement round after N=40 joins, sweep maxdisp")
+        .base_phase(PhaseSpec::Join { count: n })
+        .measured_phase(PhaseSpec::Movement {
+            rounds: 1,
+            maxdisp: 40.0,
+        })
+        .measure(Measure::DeltaFromBase)
+        .sweep(SweepAxis::MaxDisp(maxdisps))
+}
+
+/// Fig 12(b–d): cumulative movement rounds after an `n`-join base;
+/// report after every round up to `max_rounds`.
+pub fn fig12_vs_rounds(max_rounds: usize, n: usize, maxdisp: f64) -> ScenarioSpec {
+    ScenarioSpec::new("fig12-vs-rounds")
+        .summary("Fig 12(b-d): movement rounds at maxdisp=40 after N=40 joins, sweep RoundNo")
+        .base_phase(PhaseSpec::Join { count: n })
+        .measured_phase(PhaseSpec::Movement {
+            rounds: max_rounds,
+            maxdisp,
+        })
+        .measure(Measure::DeltaFromBase)
+        .sweep(SweepAxis::Rounds(max_rounds))
+}
+
+/// Clustered (hot-spot) deployment: joins scatter gaussianly around
+/// random cluster centers instead of uniformly — the Poisson-clustered
+/// regime of discrete-power-control studies. Sweep `N`.
+pub fn clustered_joins() -> ScenarioSpec {
+    ScenarioSpec::new("clustered-joins")
+        .summary("joins into 6 gaussian clusters (hot spots), sweep N")
+        .topology(TopologyFamily::Clustered {
+            clusters: 6,
+            spread: 6.0,
+        })
+        .measured_phase(PhaseSpec::Join { count: 0 })
+        .sweep(SweepAxis::JoinCount(vec![40, 60, 80, 100, 120]))
+}
+
+/// Heterogeneous range population: a short-range majority plus a
+/// long-range relay minority. Sweep the relay fraction.
+pub fn hetero_ranges() -> ScenarioSpec {
+    ScenarioSpec::new("hetero-ranges")
+        .summary("short-range majority + long-range relays, sweep the relay fraction")
+        .ranges(RangeDist::Heterogeneous {
+            short: (10.0, 15.0),
+            long: (30.0, 40.0),
+            long_fraction: 0.2,
+        })
+        .measured_phase(PhaseSpec::Join { count: 100 })
+        .sweep(SweepAxis::LongFraction(vec![0.0, 0.1, 0.2, 0.4, 0.6, 0.8]))
+}
+
+/// Interleaved churn on a clustered deployment: after a clustered join
+/// base, every step is a join, a departure, or a single-node move.
+/// Sweep the churn length.
+pub fn clustered_churn() -> ScenarioSpec {
+    ScenarioSpec::new("clustered-churn")
+        .summary("interleaved join/leave/move churn on a clustered base, sweep churn steps")
+        .topology(TopologyFamily::Clustered {
+            clusters: 5,
+            spread: 6.0,
+        })
+        .base_phase(PhaseSpec::Join { count: 60 })
+        .measured_phase(PhaseSpec::Mix {
+            steps: 0,
+            join_prob: 0.3,
+            leave_prob: 0.3,
+            maxdisp: 20.0,
+        })
+        .measure(Measure::DeltaFromBase)
+        .sweep(SweepAxis::MixSteps(vec![40, 80, 120, 160]))
+}
+
+/// Joins into a corridor cut by opaque walls with random doors: walls
+/// sever line-of-sight links, so conflicts concentrate at the doors.
+/// Sweep `N`.
+pub fn corridor_joins() -> ScenarioSpec {
+    ScenarioSpec::new("corridor-joins")
+        .summary("joins into a corridor with 3 walls and random doors, sweep N")
+        .topology(TopologyFamily::Corridor {
+            walls: 3,
+            door: 8.0,
+        })
+        .measured_phase(PhaseSpec::Join { count: 0 })
+        .sweep(SweepAxis::JoinCount(vec![40, 60, 80, 100]))
+}
+
+/// Every named preset, with the paper's default sweep values.
+pub fn catalog() -> Vec<ScenarioSpec> {
+    vec![
+        fig10_vs_n(paper_fig10_ns()),
+        fig10_vs_avg_range(paper_fig10_avg_ranges(), 100),
+        fig11_power_increase(paper_fig11_factors(), 100),
+        fig12_vs_maxdisp(paper_fig12_maxdisps(), 40),
+        fig12_vs_rounds(10, 40, 40.0),
+        clustered_joins(),
+        hetero_ranges(),
+        clustered_churn(),
+        corridor_joins(),
+    ]
+}
+
+/// Looks up a preset by name.
+pub fn find(name: &str) -> Option<ScenarioSpec> {
+    catalog().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn every_preset_validates() {
+        let specs = catalog();
+        assert!(specs.len() >= 9);
+        for spec in specs {
+            let name = spec.name.clone();
+            assert!(!spec.summary.is_empty(), "{name} needs a summary");
+            Scenario::new(spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn preset_names_are_unique_and_findable() {
+        let specs = catalog();
+        for spec in &specs {
+            assert_eq!(find(&spec.name).as_ref().map(|s| &s.name), Some(&spec.name));
+        }
+        let mut names: Vec<_> = specs.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate preset names");
+        assert!(find("no-such-preset").is_none());
+    }
+
+    #[test]
+    fn every_preset_roundtrips_through_json() {
+        for spec in catalog() {
+            let parsed = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
+            assert_eq!(spec, parsed);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end determinism of the scenario lab: a sweep's
+//! [`SweepResult`] must be bit-identical across worker counts and
+//! across repeated runs with the same seed, including on the new
+//! regimes (clustered topology, heterogeneous ranges, interleaved
+//! churn, corridors) whose generation consumes extra replicate
+//! randomness.
+
+use minim::sim::scenario::{ExperimentConfig, Scenario, ScenarioSpec, SweepAxis};
+use minim::sim::{presets, SweepResult};
+
+fn run(spec: ScenarioSpec, workers: usize, seed: u64) -> SweepResult {
+    Scenario::new(spec)
+        .expect("spec must validate")
+        .run(&ExperimentConfig {
+            runs: 4,
+            seed,
+            workers,
+        })
+}
+
+/// Small-sweep variants of the presets that exercise every topology
+/// family, range distribution, and phase kind.
+fn lab_specs() -> Vec<ScenarioSpec> {
+    vec![
+        presets::fig10_vs_n(vec![20, 30]),
+        presets::fig12_vs_rounds(2, 15, 40.0),
+        presets::clustered_joins().sweep(SweepAxis::JoinCount(vec![25])),
+        presets::hetero_ranges().sweep(SweepAxis::LongFraction(vec![0.0, 0.5])),
+        presets::clustered_churn().sweep(SweepAxis::MixSteps(vec![25])),
+        presets::corridor_joins().sweep(SweepAxis::JoinCount(vec![25])),
+    ]
+}
+
+#[test]
+fn sweep_results_are_worker_count_invariant() {
+    for spec in lab_specs() {
+        let name = spec.name.clone();
+        let serial = run(spec.clone(), 1, 99);
+        let parallel = run(spec, 8, 99);
+        // `SweepResult` equality covers every point, stat, and event
+        // count; only wall-clock (profiling metadata) is excluded.
+        assert_eq!(serial, parallel, "{name}: workers=1 vs workers=8");
+        assert_eq!(serial.to_csv(), parallel.to_csv(), "{name}: csv");
+    }
+}
+
+#[test]
+fn sweep_results_are_repeatable_per_seed() {
+    for spec in lab_specs() {
+        let name = spec.name.clone();
+        let first = run(spec.clone(), 4, 1234);
+        let second = run(spec.clone(), 4, 1234);
+        assert_eq!(first, second, "{name}: repeated run drifted");
+
+        let other_seed = run(spec, 4, 1235);
+        assert_ne!(
+            first.points, other_seed.points,
+            "{name}: seed must actually matter"
+        );
+    }
+}
+
+#[test]
+fn exports_are_deterministic_too() {
+    let spec = presets::clustered_churn().sweep(SweepAxis::MixSteps(vec![20]));
+    let a = run(spec.clone(), 2, 7);
+    let b = run(spec, 6, 7);
+    // JSON differs only in the wall_clock_ms profiling field.
+    let strip = |s: &str| -> String {
+        s.lines()
+            .filter(|l| !l.contains("wall_clock_ms"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&a.to_json_string()), strip(&b.to_json_string()));
+}
