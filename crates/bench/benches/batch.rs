@@ -1,0 +1,120 @@
+//! Sequential vs sharded-batched event execution on the metropolis
+//! workload.
+//!
+//! The sharded executor (`run_events_batched`) partitions the event
+//! stream into spatially independent shards and runs each shard
+//! end-to-end on its own subnetwork, concurrently; it is pinned
+//! bit-identical to `run_events` (`tests/batch_equivalence.rs`), so
+//! the only question is throughput. This bench runs the `metropolis`
+//! preset's workload — dense Poisson-clustered joins over a 4000×4000
+//! arena — at N = 1k and N = 10k through the Minim strategy and
+//! reports events/sec for both executors, plus the plan's parallel
+//! structure (shard count and critical-path share), which bounds the
+//! attainable speedup.
+//!
+//! The acceptance bar for the batch refactor is batched beating
+//! sequential at N = 10k **given cores to run on**: the speedup is
+//! `total_work / (largest_shard + merge)`, so on a single-core host
+//! (`available_parallelism() == 1`) the two arms necessarily coincide
+//! modulo scheduling overhead — the printed structure line still
+//! shows the parallelism a multi-core host would realize.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minim_core::Minim;
+use minim_geom::{sample, Point, Rect};
+use minim_net::event::Event;
+use minim_net::workload::{Placement, RangeDist};
+use minim_net::{BatchPlan, Network, NodeConfig};
+use minim_sim::runner::{run_events, run_events_batched, ValidationMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Planning workers for the batched arm.
+const WORKERS: usize = 8;
+
+/// The metropolis deployment (`minim_sim::presets::metropolis`):
+/// dense Poisson-clustered joins over a 4000×4000 arena with the
+/// paper's range distribution.
+fn metropolis_events(n: usize, seed: u64) -> Vec<Event> {
+    let arena = Rect::new(0.0, 0.0, 4000.0, 4000.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..40)
+        .map(|_| sample::uniform_point(&mut rng, &arena))
+        .collect();
+    let placement = Placement::Clustered {
+        centers,
+        spread: 25.0,
+        arena,
+    };
+    let ranges = RangeDist::paper();
+    (0..n)
+        .map(|_| Event::Join {
+            cfg: NodeConfig::new(placement.sample(&mut rng), ranges.sample(&mut rng)),
+        })
+        .collect()
+}
+
+fn fresh_net() -> Network {
+    Network::new(30.5)
+}
+
+fn run_sequential(events: &[Event]) -> usize {
+    let mut net = fresh_net();
+    let mut s = Minim::default();
+    run_events(&mut s, &mut net, events).recodings
+}
+
+fn run_batched(events: &[Event]) -> usize {
+    let mut net = fresh_net();
+    let mut s = Minim::default();
+    run_events_batched(&mut s, &mut net, events, ValidationMode::Off, WORKERS).recodings
+}
+
+/// One-shot throughput report (median of `reps` runs), printed in
+/// events/sec so the two executors compare at a glance.
+fn report_events_per_sec(n: usize, events: &[Event]) {
+    let median = |f: &dyn Fn(&[Event]) -> usize, reps: usize| -> f64 {
+        let mut times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f(black_box(events)));
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    let reps = if n >= 10_000 { 3 } else { 7 };
+    let seq = median(&run_sequential, reps);
+    let bat = median(&run_batched, reps);
+    let plan = BatchPlan::new(&fresh_net(), events);
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!(
+        "throughput/N={n}: sequential {:>9.0} events/s | batched(x{WORKERS}) {:>9.0} events/s | speedup {:.2}x on {cores} core(s) | {} shards, largest {} events",
+        n as f64 / seq,
+        n as f64 / bat,
+        seq / bat,
+        plan.shard_count(),
+        plan.max_shard_len(),
+    );
+}
+
+fn bench_batch_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_events");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let events = metropolis_events(n, 0xBA7C);
+        report_events_per_sec(n, &events);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &events, |b, events| {
+            b.iter(|| black_box(run_sequential(events)))
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &events, |b, events| {
+            b.iter(|| black_box(run_batched(events)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_sequential);
+criterion_main!(benches);

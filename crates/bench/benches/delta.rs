@@ -55,7 +55,7 @@ fn bench_validators_standing_network(c: &mut Criterion) {
     for e in &events {
         s.apply(&mut net, e);
     }
-    let seed_node = net.node_ids()[50];
+    let seed_node = net.iter_nodes().nth(50).expect("100-node network");
     let seeds = [seed_node];
 
     let mut group = c.benchmark_group("validator");

@@ -44,8 +44,8 @@ fn bench_move_event(c: &mut Criterion) {
     for kind in StrategyKind::ALL {
         let base = network_with(kind, 40, 6);
         let mut rng = StdRng::seed_from_u64(100);
-        let ids = base.node_ids();
-        let victim = ids[rng.gen_range(0..ids.len())];
+        let k = rng.gen_range(0..base.node_count());
+        let victim = base.iter_nodes().nth(k).expect("k < node_count");
         let to = sample::random_move(
             &mut rng,
             base.config(victim).unwrap().pos,
@@ -73,7 +73,7 @@ fn bench_power_event(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_power_increase");
     for kind in StrategyKind::ALL {
         let base = network_with(kind, 100, 7);
-        let victim = base.node_ids()[50];
+        let victim = base.iter_nodes().nth(50).expect("100-node network");
         let new_range = base.config(victim).unwrap().range * 3.0;
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.label()),

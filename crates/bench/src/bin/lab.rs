@@ -8,7 +8,7 @@
 //! minim-lab list
 //! minim-lab show <preset>
 //! minim-lab run <preset | spec.json> [--runs K] [--seed S] [--workers W]
-//!                                    [--format table|json|csv|all]
+//!                                    [--batched P] [--format table|json|csv|all]
 //!                                    [--out DIR] [--quiet]
 //! ```
 //!
@@ -17,11 +17,14 @@
 //!   `minim-lab show clustered-churn > my.json`, edit, `run my.json`.
 //! * `run` — executes the sweep, streaming per-point progress to
 //!   stderr. `--runs/--seed/--workers` override the spec's defaults;
+//!   `--batched P` switches each replicate to the wave-parallel
+//!   batched executor with `P` planning threads (bit-identical
+//!   results; the knob for large-N presets like `metropolis`);
 //!   `--format` picks the stdout rendering (default `table`); `--out
 //!   DIR` additionally writes `<name>.json` and `<name>.csv`.
 
 use minim_sim::scenario::{Scenario, ScenarioSpec, SweepProgress, SweepResult};
-use minim_sim::{ascii_plot, presets};
+use minim_sim::{ascii_plot, presets, Execution};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -30,7 +33,7 @@ fn usage() -> ! {
         "minim-lab — declarative scenario lab\n\n\
          USAGE:\n  minim-lab list\n  minim-lab show <preset>\n  \
          minim-lab run <preset | spec.json> [--runs K] [--seed S] [--workers W]\n\
-         \u{20}                                  [--format table|json|csv|all] [--out DIR] [--quiet]\n\n\
+         \u{20}                                  [--batched P] [--format table|json|csv|all] [--out DIR] [--quiet]\n\n\
          Presets: see `minim-lab list`. A spec file is the JSON printed by `show`."
     );
     std::process::exit(2);
@@ -87,6 +90,7 @@ struct RunArgs {
     runs: Option<usize>,
     seed: Option<u64>,
     workers: Option<usize>,
+    batched: Option<usize>,
     format: String,
     out: Option<PathBuf>,
     quiet: bool,
@@ -98,6 +102,7 @@ fn parse_run_args(argv: &[String]) -> RunArgs {
         runs: None,
         seed: None,
         workers: None,
+        batched: None,
         format: "table".into(),
         out: None,
         quiet: false,
@@ -134,6 +139,15 @@ fn parse_run_args(argv: &[String]) -> RunArgs {
                         .ok()
                         .filter(|&n: &usize| n > 0)
                         .unwrap_or_else(|| die("--workers needs a positive integer")),
+                )
+            }
+            "--batched" => {
+                args.batched = Some(
+                    parse_next(&mut i, "--batched")
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| die("--batched needs a positive worker count")),
                 )
             }
             "--format" => {
@@ -186,6 +200,9 @@ fn cmd_run(argv: &[String]) -> ExitCode {
     }
     if let Some(workers) = args.workers {
         cfg.workers = workers;
+    }
+    if let Some(planners) = args.batched {
+        cfg.execution = Execution::Batched { workers: planners };
     }
     let scenario = Scenario::new(spec).unwrap_or_else(|e| die(&e.to_string()));
     if !args.quiet {

@@ -37,14 +37,15 @@
 //! deterministic.
 
 use crate::{
-    debug_assert_locally_valid, range_direction, EventEffect, RecodeOutcome, RecodingStrategy,
+    commit_plan, debug_assert_locally_valid, range_direction, BatchLocality, ColorPlan,
+    EventEffect, RecodeOutcome, RecodingStrategy,
 };
 use minim_geom::Point;
 use minim_graph::{conflict, hops};
-use minim_graph::{Color, NodeId};
-use minim_net::event::PowerDirection;
+use minim_graph::{Color, ColorView, NodeId};
+use minim_net::event::{AppliedEvent, PowerDirection};
 use minim_net::{Network, NodeConfig, TopologyDelta};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The Chlamtac–Pinter recoding baseline.
 #[derive(Debug, Clone, Default)]
@@ -79,43 +80,56 @@ impl Cp {
         }
     }
 
-    /// The colors a reselecting node must avoid.
-    fn avoid_colors(&self, net: &Network, u: NodeId) -> Vec<Color> {
+    /// The colors a reselecting node must avoid, as the plan currently
+    /// sees them (its own earlier writes included, via the view).
+    fn avoid_colors(&self, net: &Network, view: &ColorView<'_>, u: NodeId) -> Vec<Color> {
         if self.exact_constraints {
-            conflict::constraint_colors(net.graph(), net.assignment(), u)
+            conflict::constraint_colors_with(net.graph(), view, u)
         } else {
             hops::within_hops(net.graph(), u, 2)
                 .into_iter()
-                .filter_map(|(v, _)| net.assignment().get(v))
+                .filter_map(|(v, _)| view.get(v))
                 .collect()
         }
     }
 
-    /// Uncolors `to_recolor`, then reselects in descending identity
-    /// order with the lowest-available rule.
-    fn reselect(&self, net: &mut Network, mut to_recolor: Vec<NodeId>) {
+    /// Plans the reselection of `to_recolor`: uncolors them on the
+    /// view, then reselects in descending identity order with the
+    /// lowest-available rule. The network itself is untouched — the
+    /// interleaved read-after-write the protocol needs happens on the
+    /// view overlay, which is what lets many CP plans run concurrently
+    /// in batched execution.
+    fn reselect_plan(
+        &self,
+        net: &Network,
+        view: &mut ColorView<'_>,
+        mut to_recolor: Vec<NodeId>,
+    ) -> ColorPlan {
         to_recolor.sort_unstable();
         to_recolor.dedup();
         for &u in &to_recolor {
-            net.assignment_mut().unset(u);
+            view.unset(u);
         }
         // Highest identity selects first.
         to_recolor.sort_unstable_by(|a, b| b.cmp(a));
+        let mut plan = Vec::with_capacity(to_recolor.len());
         for &u in &to_recolor {
-            let avoid = self.avoid_colors(net, u);
+            let avoid = self.avoid_colors(net, view, u);
             let c = Color::lowest_excluding(avoid);
-            net.assignment_mut().set(u, c);
+            view.set(u, c);
+            plan.push((u, c));
         }
+        plan
     }
 
     /// The duplicated-color members of `1n ∪ 2n` around the delta's
     /// node (the nodes whose pairs violate CA2 through the joiner) —
     /// read straight off the delta's neighbor lists.
-    fn duplicate_in_neighbors(net: &Network, delta: &TopologyDelta) -> Vec<NodeId> {
+    fn duplicate_in_neighbors(view: &ColorView<'_>, delta: &TopologyDelta) -> Vec<NodeId> {
         let in_union = delta.partitions().in_union();
         let mut by_color: HashMap<Color, Vec<NodeId>> = HashMap::new();
         for &u in &in_union {
-            if let Some(c) = net.assignment().get(u) {
+            if let Some(c) = view.get(u) {
                 by_color.entry(c).or_default().push(u);
             }
         }
@@ -128,9 +142,14 @@ impl Cp {
         dup
     }
 
-    /// Shared join engine (also the second half of a move). The
+    /// Shared join-plan engine (also the second half of a move). The
     /// affected neighborhood comes from the event's delta.
-    fn join_recode(&self, net: &mut Network, delta: &TopologyDelta) {
+    fn plan_join(
+        &self,
+        net: &Network,
+        view: &mut ColorView<'_>,
+        delta: &TopologyDelta,
+    ) -> ColorPlan {
         let id = delta.node();
         let mut to_recolor = if self.whole_neighborhood {
             let p = delta.partitions();
@@ -139,58 +158,54 @@ impl Cp {
             v.sort_unstable();
             v
         } else {
-            Self::duplicate_in_neighbors(net, delta)
+            Self::duplicate_in_neighbors(view, delta)
         };
         to_recolor.push(id);
-        self.reselect(net, to_recolor);
-    }
-}
-
-impl RecodingStrategy for Cp {
-    fn name(&self) -> &'static str {
-        "CP"
+        self.reselect_plan(net, view, to_recolor)
     }
 
-    fn on_join_delta(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> EventEffect {
-        let before = net.snapshot_assignment();
-        let delta = net.insert_node(id, cfg);
-        self.join_recode(net, &delta);
-        let outcome = RecodeOutcome::from_diff(net, &before);
-        debug_assert_locally_valid(net, &delta, &outcome);
-        EventEffect { delta, outcome }
+    /// The initiator's conflict partners *before* a power increase,
+    /// reconstructed from the delta and the post-event graph. Valid
+    /// because an increase only adds out-edges of the initiator: every
+    /// other adjacency — in particular the in-lists of the receivers
+    /// it already reached — is unchanged.
+    fn partners_before_increase(net: &Network, delta: &TopologyDelta) -> Vec<NodeId> {
+        let id = delta.node();
+        let out_before = delta.out_before();
+        let mut set: HashSet<NodeId> = HashSet::new();
+        // CA1 partners: both edge directions (in-edges are untouched
+        // by a range change, so in_after == in_before).
+        set.extend(out_before.iter().copied());
+        set.extend(delta.in_after.iter().copied());
+        // CA2 partners: other transmitters into the old receivers.
+        for &w in &out_before {
+            set.extend(net.graph().in_neighbors(w).iter().copied());
+        }
+        set.remove(&id);
+        let mut v: Vec<NodeId> = set.into_iter().collect();
+        v.sort_unstable();
+        v
     }
 
-    fn on_leave_delta(&mut self, net: &mut Network, id: NodeId) -> EventEffect {
-        let before = net.snapshot_assignment();
-        let delta = net.remove_node(id);
-        let outcome = RecodeOutcome::from_diff(net, &before);
-        debug_assert_locally_valid(net, &delta, &outcome);
-        EventEffect { delta, outcome }
-    }
-
-    /// Leave + join: the mover forgets its color before rejoining.
-    fn on_move_delta(&mut self, net: &mut Network, id: NodeId, to: Point) -> EventEffect {
-        let before = net.snapshot_assignment();
-        net.assignment_mut().unset(id);
-        let delta = net.move_node(id, to);
-        self.join_recode(net, &delta);
-        let outcome = RecodeOutcome::from_diff(net, &before);
-        debug_assert_locally_valid(net, &delta, &outcome);
-        EventEffect { delta, outcome }
-    }
-
-    fn on_set_range_delta(&mut self, net: &mut Network, id: NodeId, range: f64) -> EventEffect {
-        let dir = range_direction(net, id, range);
-        let before = net.snapshot_assignment();
-        let partners_before = conflict::conflicts_of(net.graph(), id);
-        let delta = net.set_range(id, range);
+    /// Plans the §4.2 CP power-increase extension: every node that
+    /// acquires a *new* constraint with the initiator and shares its
+    /// old color — plus the initiator — reselects.
+    fn plan_range_change(
+        &self,
+        net: &Network,
+        view: &mut ColorView<'_>,
+        id: NodeId,
+        dir: PowerDirection,
+        delta: &TopologyDelta,
+    ) -> ColorPlan {
         match dir {
             PowerDirection::Increase => {
                 // The candidates for new conflicts come from the
                 // delta: each newly reached receiver `w` (CA1 partner)
                 // and `w`'s other transmitters (CA2 partners). No
                 // second full conflict-set derivation.
-                let my_color = net.assignment().get(id);
+                let partners_before = Self::partners_before_increase(net, delta);
+                let my_color = view.get(id);
                 let mut new_partners: Vec<NodeId> = Vec::new();
                 for w in delta.new_receivers() {
                     new_partners.push(w);
@@ -207,17 +222,85 @@ impl RecodingStrategy for Cp {
                 let mut to_recolor: Vec<NodeId> = new_partners
                     .into_iter()
                     .filter(|p| partners_before.binary_search(p).is_err())
-                    .filter(|&p| net.assignment().get(p) == my_color)
+                    .filter(|&p| view.get(p) == my_color)
                     .collect();
                 let clash = !to_recolor.is_empty() || my_color.is_none();
                 if clash {
                     to_recolor.push(id);
-                    self.reselect(net, to_recolor);
+                    self.reselect_plan(net, view, to_recolor)
+                } else {
+                    Vec::new()
                 }
             }
-            PowerDirection::Decrease | PowerDirection::Unchanged => {}
+            PowerDirection::Decrease | PowerDirection::Unchanged => Vec::new(),
         }
-        let outcome = RecodeOutcome::from_diff(net, &before);
+    }
+}
+
+impl RecodingStrategy for Cp {
+    fn name(&self) -> &'static str {
+        "CP"
+    }
+
+    /// CP's rule set is explicitly 2-hop local (§3), so it batches.
+    fn batch_locality(&self) -> BatchLocality {
+        BatchLocality::Neighborhood
+    }
+
+    fn plan_batched(
+        &self,
+        net: &Network,
+        applied: &AppliedEvent,
+        delta: &TopologyDelta,
+    ) -> ColorPlan {
+        let mut view = ColorView::new(net.assignment());
+        match *applied {
+            AppliedEvent::Joined(_) => self.plan_join(net, &mut view, delta),
+            AppliedEvent::Left(_) => Vec::new(),
+            // Leave + join: the mover forgets its color before
+            // rejoining (§3) — on the view, so the plan stays pure.
+            AppliedEvent::Moved(id) => {
+                view.unset(id);
+                self.plan_join(net, &mut view, delta)
+            }
+            AppliedEvent::RangeChanged(id, dir) => {
+                self.plan_range_change(net, &mut view, id, dir, delta)
+            }
+        }
+    }
+
+    fn on_join_delta(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> EventEffect {
+        let delta = net.insert_node(id, cfg);
+        let plan = self.plan_batched(net, &AppliedEvent::Joined(id), &delta);
+        let outcome = commit_plan(net, &plan);
+        debug_assert_locally_valid(net, &delta, &outcome);
+        EventEffect { delta, outcome }
+    }
+
+    fn on_leave_delta(&mut self, net: &mut Network, id: NodeId) -> EventEffect {
+        let delta = net.remove_node(id);
+        let outcome = RecodeOutcome {
+            recoded: Vec::new(),
+            max_color_after: net.max_color_index(),
+        };
+        debug_assert_locally_valid(net, &delta, &outcome);
+        EventEffect { delta, outcome }
+    }
+
+    /// Leave + join: the mover forgets its color before rejoining.
+    fn on_move_delta(&mut self, net: &mut Network, id: NodeId, to: Point) -> EventEffect {
+        let delta = net.move_node(id, to);
+        let plan = self.plan_batched(net, &AppliedEvent::Moved(id), &delta);
+        let outcome = commit_plan(net, &plan);
+        debug_assert_locally_valid(net, &delta, &outcome);
+        EventEffect { delta, outcome }
+    }
+
+    fn on_set_range_delta(&mut self, net: &mut Network, id: NodeId, range: f64) -> EventEffect {
+        let dir = range_direction(net, id, range);
+        let delta = net.set_range(id, range);
+        let plan = self.plan_batched(net, &AppliedEvent::RangeChanged(id, dir), &delta);
+        let outcome = commit_plan(net, &plan);
         debug_assert_locally_valid(net, &delta, &outcome);
         EventEffect { delta, outcome }
     }

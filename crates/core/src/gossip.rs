@@ -21,7 +21,7 @@
 //! is non-increasing and the process reaches a fixpoint (each node's
 //! color is non-increasing and bounded below by 1).
 
-use minim_graph::{conflict, Color};
+use minim_graph::{conflict, Color, NodeId};
 use minim_net::Network;
 
 /// Background color-compaction gossiper.
@@ -45,7 +45,9 @@ pub struct CompactionStats {
 impl GossipCompactor {
     /// Runs a single gossip round. Returns the number of migrations.
     pub fn round(&self, net: &mut Network) -> usize {
-        let mut ids = net.node_ids();
+        // The loop below recolors while iterating, so the ids are
+        // collected first (from the borrowing iterator).
+        let mut ids: Vec<NodeId> = net.iter_nodes().collect();
         ids.sort_unstable_by(|a, b| b.cmp(a)); // highest identity first
         let mut moves = 0;
         for id in ids {

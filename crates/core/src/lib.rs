@@ -78,6 +78,51 @@ pub struct EventEffect {
     pub outcome: RecodeOutcome,
 }
 
+/// How far one event's handling can reach into the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchLocality {
+    /// Every read and write stays within the event's spatial
+    /// neighborhood (bounded graph hops from the initiator), so
+    /// spatially disjoint events commute and their plans may run
+    /// concurrently. Minim and CP qualify — this is the paper's
+    /// locality claim.
+    Neighborhood,
+    /// Handling may touch arbitrary state (BBB recolors the whole
+    /// network; instrumentation wrappers accumulate global counters).
+    /// Batched execution degrades to sequential for such strategies.
+    Global,
+}
+
+/// The color writes one event's planning decided on, in application
+/// order. Committing a plan (see [`commit_plan`]) sets each pair on
+/// the real assignment; writes that match the node's current color are
+/// recorded as no-ops, exactly like the snapshot-diff accounting.
+pub type ColorPlan = Vec<(NodeId, Color)>;
+
+/// Applies a [`ColorPlan`] to the network and builds the
+/// [`RecodeOutcome`] by diffing against the pre-commit colors — the
+/// `O(plan)` equivalent of `RecodeOutcome::from_diff`'s full-assignment
+/// scan (only planned nodes can have changed).
+pub fn commit_plan(net: &mut Network, plan: &ColorPlan) -> RecodeOutcome {
+    let mut recoded: Vec<(NodeId, Option<Color>, Color)> = Vec::with_capacity(plan.len());
+    for &(n, c) in plan {
+        let old = net.assignment().get(n);
+        if old != Some(c) {
+            net.assignment_mut().set(n, c);
+            recoded.push((n, old, c));
+        }
+    }
+    recoded.sort_by_key(|&(n, _, _)| n);
+    debug_assert!(
+        recoded.windows(2).all(|w| w[0].0 != w[1].0),
+        "a plan must write each node at most once"
+    );
+    RecodeOutcome {
+        recoded,
+        max_color_after: net.max_color_index(),
+    }
+}
+
 /// A recoding strategy: one algorithm per event type.
 ///
 /// Each handler applies the topology change itself (so it can observe
@@ -127,6 +172,42 @@ pub trait RecodingStrategy {
     /// Convenience: range change, discarding the delta.
     fn on_set_range(&mut self, net: &mut Network, id: NodeId, range: f64) -> RecodeOutcome {
         self.on_set_range_delta(net, id, range).outcome
+    }
+
+    /// How far this strategy's event handling reaches. Strategies
+    /// whose reads and writes stay within the event's neighborhood
+    /// return [`BatchLocality::Neighborhood`] and implement
+    /// [`RecodingStrategy::plan_batched`]; the conservative default
+    /// ([`BatchLocality::Global`]) makes batched execution fall back
+    /// to the sequential path.
+    fn batch_locality(&self) -> BatchLocality {
+        BatchLocality::Global
+    }
+
+    /// Plans the color writes for an event whose **topology has
+    /// already been applied** to `net` (yielding `delta`), without
+    /// mutating anything — the parallel-safe phase of batched
+    /// execution.
+    ///
+    /// Contract (for [`BatchLocality::Neighborhood`] strategies): the
+    /// plan must depend only on state within the event's neighborhood,
+    /// and committing it via [`commit_plan`] must leave the network in
+    /// exactly the state the sequential `on_*_delta` handler would
+    /// have produced. Minim and CP implement their sequential handlers
+    /// *through* this method, so the equivalence holds by
+    /// construction.
+    ///
+    /// # Panics
+    /// The default implementation panics: global strategies have no
+    /// batch plan, and the executor must not call this after checking
+    /// [`RecodingStrategy::batch_locality`].
+    fn plan_batched(
+        &self,
+        _net: &Network,
+        _applied: &AppliedEvent,
+        _delta: &TopologyDelta,
+    ) -> ColorPlan {
+        unreachable!("plan_batched requires batch_locality() == Neighborhood")
     }
 
     /// Applies an [`Event`], returning both the topology delta and the
@@ -212,8 +293,9 @@ impl StrategyKind {
     /// sub-figures 10(c,f), 11(c), 12(a,d)).
     pub const DISTRIBUTED: [StrategyKind; 2] = [StrategyKind::Minim, StrategyKind::Cp];
 
-    /// Instantiates the strategy.
-    pub fn build(self) -> Box<dyn RecodingStrategy> {
+    /// Instantiates the strategy. The trait object is `Send + Sync`
+    /// so the batched executor can share it across planning workers.
+    pub fn build(self) -> Box<dyn RecodingStrategy + Send + Sync> {
         match self {
             StrategyKind::Minim => Box::new(Minim::default()),
             StrategyKind::Cp => Box::new(Cp::default()),

@@ -21,13 +21,14 @@
 //! construction and is tested below.
 
 use crate::{
-    debug_assert_locally_valid, range_direction, EventEffect, RecodeOutcome, RecodingStrategy,
+    commit_plan, debug_assert_locally_valid, range_direction, BatchLocality, ColorPlan,
+    EventEffect, RecodeOutcome, RecodingStrategy,
 };
 use minim_geom::Point;
 use minim_graph::conflict;
 use minim_graph::{Color, NodeId};
 use minim_matching::{max_weight_matching, WeightedBipartite};
-use minim_net::event::PowerDirection;
+use minim_net::event::{AppliedEvent, PowerDirection};
 use minim_net::{Network, NodeConfig, TopologyDelta};
 
 /// Weight of a "keep your old color" edge in the matching instance.
@@ -65,9 +66,24 @@ impl Minim {
     /// event's [`TopologyDelta`]; the recode set comes straight out of
     /// the delta's neighbor lists — no graph traversal re-derives it.
     /// `n` may or may not hold an old color.
+    ///
+    /// Thin wrapper: [`Minim::plan_matching`] decides, [`commit_plan`]
+    /// applies — the same decomposition batched execution uses, so
+    /// sequential and batched runs agree by construction.
     fn matching_recode(&self, net: &mut Network, delta: &TopologyDelta) -> RecodeOutcome {
+        let plan = self.plan_matching(net, delta);
+        let outcome = commit_plan(net, &plan);
+        debug_assert_locally_valid(net, delta, &outcome);
+        outcome
+    }
+
+    /// Plans the join/move recoding **without mutating the network**.
+    /// All reads stay within two graph hops of the recode set (the
+    /// members' external constraints), i.e. within the event's
+    /// neighborhood — the `BatchLocality::Neighborhood` contract.
+    fn plan_matching(&self, net: &Network, delta: &TopologyDelta) -> ColorPlan {
         let n = delta.node();
-        let before = net.snapshot_assignment();
+        let assignment = net.assignment();
         let set = delta.recode_set(); // sorted, includes n
 
         // Fast path (the common case in dense networks): if the old
@@ -87,39 +103,71 @@ impl Minim {
         // This mirrors `plan_recode`'s own fast path exactly, so the
         // distributed protocol (which reconstructs inputs from messages
         // and calls `plan_recode`) computes identical assignments.
-        let mut set_colors: Vec<Color> = set.iter().filter_map(|&u| before.get(u)).collect();
+        let mut set_colors: Vec<Color> = set.iter().filter_map(|&u| assignment.get(u)).collect();
         set_colors.sort_unstable();
         let distinct = set_colors.windows(2).all(|w| w[0] != w[1]);
         if distinct && self.keep_weight > 1 {
-            let n_constraints = conflict::constraint_colors(net.graph(), net.assignment(), n);
-            match before.get(n) {
+            let n_constraints = conflict::constraint_colors(net.graph(), assignment, n);
+            match assignment.get(n) {
                 Some(c) => {
                     if !n_constraints.contains(&c) {
                         // Nothing clashes: zero recodings.
-                        let outcome = RecodeOutcome::from_diff(net, &before);
-                        debug_assert_locally_valid(net, delta, &outcome);
-                        return outcome;
+                        return Vec::new();
                     }
                     // External clash: full matching below.
                 }
                 None => {
-                    let c = Color::lowest_excluding(n_constraints);
-                    net.assignment_mut().set(n, c);
-                    let outcome = RecodeOutcome::from_diff(net, &before);
-                    debug_assert_locally_valid(net, delta, &outcome);
-                    return outcome;
+                    return vec![(n, Color::lowest_excluding(n_constraints))];
                 }
             }
         }
 
         let (old, forbidden) = gather_recode_inputs(net, &set);
         let plan = plan_recode(&old, &forbidden, self.keep_weight);
-        for (i, &u) in set.iter().enumerate() {
-            net.assignment_mut().set(u, plan[i]);
+        set.into_iter().zip(plan).collect()
+    }
+
+    /// Plans `RecodeOnPowIncrease` (or nothing for decreases) without
+    /// mutating the network.
+    fn plan_range(
+        &self,
+        net: &Network,
+        id: NodeId,
+        dir: PowerDirection,
+        delta: &TopologyDelta,
+    ) -> ColorPlan {
+        match dir {
+            PowerDirection::Increase => {
+                // All new constraints involve `id` and stem from the
+                // delta's added out-edges (§4.2): a clash is possible
+                // only at a *new* receiver — against the receiver
+                // itself (CA1) or a co-transmitter into it (CA2).
+                // Scanning those is O(Δ·deg); the pre-event state is
+                // valid by the inductive contract, so old constraints
+                // cannot clash.
+                let current = net.assignment().get(id);
+                let clash = match current {
+                    Some(c) => delta.new_receivers().any(|w| {
+                        net.assignment().get(w) == Some(c)
+                            || net
+                                .graph()
+                                .in_neighbors(w)
+                                .iter()
+                                .any(|&x| x != id && net.assignment().get(x) == Some(c))
+                    }),
+                    None => true,
+                };
+                if clash {
+                    // Repick against the full (old ∪ new) constraints.
+                    let constraints =
+                        conflict::constraint_colors(net.graph(), net.assignment(), id);
+                    vec![(id, Color::lowest_excluding(constraints))]
+                } else {
+                    Vec::new()
+                }
+            }
+            PowerDirection::Decrease | PowerDirection::Unchanged => Vec::new(),
         }
-        let outcome = RecodeOutcome::from_diff(net, &before);
-        debug_assert_locally_valid(net, delta, &outcome);
-        outcome
     }
 }
 
@@ -255,6 +303,26 @@ impl RecodingStrategy for Minim {
         "Minim"
     }
 
+    /// Minim is the paper's locality result made code: every handler
+    /// reads and writes within the event's neighborhood.
+    fn batch_locality(&self) -> BatchLocality {
+        BatchLocality::Neighborhood
+    }
+
+    fn plan_batched(
+        &self,
+        net: &Network,
+        applied: &AppliedEvent,
+        delta: &TopologyDelta,
+    ) -> ColorPlan {
+        match *applied {
+            AppliedEvent::Joined(_) | AppliedEvent::Moved(_) => self.plan_matching(net, delta),
+            // `RecodeDecreasePowOrLeave`: passive (§4.3).
+            AppliedEvent::Left(_) => Vec::new(),
+            AppliedEvent::RangeChanged(id, dir) => self.plan_range(net, id, dir, delta),
+        }
+    }
+
     /// `RecodeOnJoin` (Fig 3 of the paper).
     fn on_join_delta(&mut self, net: &mut Network, id: NodeId, cfg: NodeConfig) -> EventEffect {
         let delta = net.insert_node(id, cfg);
@@ -263,11 +331,14 @@ impl RecodingStrategy for Minim {
     }
 
     /// `RecodeDecreasePowOrLeave`: passive — a leave removes
-    /// constraints only, so the old assignment stays valid (§4.3).
+    /// constraints only, so the old assignment stays valid (§4.3) and
+    /// nothing is ever recoded.
     fn on_leave_delta(&mut self, net: &mut Network, id: NodeId) -> EventEffect {
-        let before = net.snapshot_assignment();
         let delta = net.remove_node(id);
-        let outcome = RecodeOutcome::from_diff(net, &before);
+        let outcome = RecodeOutcome {
+            recoded: Vec::new(),
+            max_color_after: net.max_color_index(),
+        };
         debug_assert_locally_valid(net, &delta, &outcome);
         EventEffect { delta, outcome }
     }
@@ -285,40 +356,9 @@ impl RecodingStrategy for Minim {
     /// decreases (§4.3).
     fn on_set_range_delta(&mut self, net: &mut Network, id: NodeId, range: f64) -> EventEffect {
         let dir = range_direction(net, id, range);
-        let before = net.snapshot_assignment();
         let delta = net.set_range(id, range);
-        match dir {
-            PowerDirection::Increase => {
-                // All new constraints involve `id` and stem from the
-                // delta's added out-edges (§4.2): a clash is possible
-                // only at a *new* receiver — against the receiver
-                // itself (CA1) or a co-transmitter into it (CA2).
-                // Scanning those is O(Δ·deg); the pre-event state is
-                // valid by the inductive contract, so old constraints
-                // cannot clash.
-                let current = net.assignment().get(id);
-                let clash = match current {
-                    Some(c) => delta.new_receivers().any(|w| {
-                        net.assignment().get(w) == Some(c)
-                            || net
-                                .graph()
-                                .in_neighbors(w)
-                                .iter()
-                                .any(|&x| x != id && net.assignment().get(x) == Some(c))
-                    }),
-                    None => true,
-                };
-                if clash {
-                    // Repick against the full (old ∪ new) constraints.
-                    let constraints =
-                        conflict::constraint_colors(net.graph(), net.assignment(), id);
-                    let c = Color::lowest_excluding(constraints);
-                    net.assignment_mut().set(id, c);
-                }
-            }
-            PowerDirection::Decrease | PowerDirection::Unchanged => {}
-        }
-        let outcome = RecodeOutcome::from_diff(net, &before);
+        let plan = self.plan_range(net, id, dir, &delta);
+        let outcome = commit_plan(net, &plan);
         debug_assert_locally_valid(net, &delta, &outcome);
         EventEffect { delta, outcome }
     }

@@ -10,12 +10,180 @@
 //! typical query radius answers these queries in expected `O(1)` per
 //! reported neighbor.
 //!
-//! The index stores `(id, Point)` pairs keyed by an opaque `u32` id (the
-//! caller's node id). Updates are incremental: `insert`, `remove`, and
-//! `relocate` all run in expected `O(1)`.
+//! The index stores `(id, Point)` pairs keyed by an opaque `u32` id
+//! (the caller's node id; ids are expected to be *dense* — `minim-net`
+//! allocates them consecutively from 0 — since the reverse map is a
+//! slab indexed by id). Updates are incremental: `insert`, `remove`,
+//! and `relocate` all run in `O(1)` expected.
+//!
+//! Storage is dense on both axes: the reverse map is a `Vec` slab
+//! (id → entry), and cells live in a dense, growable window of the
+//! integer cell plane (plus a sparse overflow map for pathological
+//! far-out coordinates), so the hot query path walks contiguous memory
+//! instead of hashing.
 
 use crate::Point;
 use std::collections::HashMap;
+
+/// Cell coordinates are clamped into this symmetric window. The clamp
+/// makes the `f64 → i32` conversion explicit and total: a coordinate at
+/// `1e300` lands on the window edge instead of saturating to
+/// `i32::MAX` and overflowing downstream cell-range arithmetic.
+const CELL_COORD_LIMIT: i32 = 1 << 30;
+
+/// Converts one coordinate to its (clamped) integer cell coordinate.
+/// The single authority for `f64 → i32` cell conversion — both the
+/// insertion and the query paths go through here, so an out-of-window
+/// point is queryable at exactly the cell it was stored in.
+#[inline]
+pub fn cell_coord(v: f64, cell_size: f64) -> i32 {
+    let c = (v / cell_size).floor();
+    if c <= -(CELL_COORD_LIMIT as f64) {
+        -CELL_COORD_LIMIT
+    } else if c >= CELL_COORD_LIMIT as f64 {
+        CELL_COORD_LIMIT
+    } else {
+        // In-window (and NaN, which compares false to both bounds and
+        // maps to cell 0 — a NaN coordinate is already a caller bug).
+        c as i32
+    }
+}
+
+/// Largest per-axis span (in cells) the dense window may grow to;
+/// cells outside go to the sparse overflow map. 4096² cells × a
+/// `Vec` each ≈ 400 MB worst case is never reached in practice —
+/// the window only covers the bounding box of *observed* points, and
+/// real arenas are a few dozen cells across.
+const MAX_DENSE_SPAN: i64 = 4096;
+
+/// The dense, growable cell window plus sparse overflow.
+#[derive(Debug, Clone, Default)]
+struct CellTable {
+    /// Cell coordinate of `cells[0]`.
+    origin: (i32, i32),
+    /// Window extent in cells (0 ⇒ empty, no window yet).
+    width: i32,
+    height: i32,
+    /// Row-major `width × height` occupancy lists.
+    cells: Vec<Vec<u32>>,
+    /// Cells outside the dense window (far-out coordinates only).
+    overflow: HashMap<(i32, i32), Vec<u32>>,
+}
+
+impl CellTable {
+    #[inline]
+    fn dense_index(&self, c: (i32, i32)) -> Option<usize> {
+        let dx = c.0.wrapping_sub(self.origin.0);
+        let dy = c.1.wrapping_sub(self.origin.1);
+        if dx >= 0 && dx < self.width && dy >= 0 && dy < self.height {
+            Some(dy as usize * self.width as usize + dx as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Grows the dense window to cover `c` (with margin), moving
+    /// existing rows; falls back to overflow when the union span would
+    /// exceed [`MAX_DENSE_SPAN`].
+    fn grow_to(&mut self, c: (i32, i32)) -> Option<usize> {
+        let (min_x, max_x, min_y, max_y) = if self.width == 0 {
+            (c.0, c.0, c.1, c.1)
+        } else {
+            (
+                self.origin.0.min(c.0),
+                (self.origin.0 + self.width - 1).max(c.0),
+                self.origin.1.min(c.1),
+                (self.origin.1 + self.height - 1).max(c.1),
+            )
+        };
+        let span_x = max_x as i64 - min_x as i64 + 1;
+        let span_y = max_y as i64 - min_y as i64 + 1;
+        if span_x > MAX_DENSE_SPAN || span_y > MAX_DENSE_SPAN {
+            return None;
+        }
+        // Pad by a quarter span (min 2 cells) so steady drift does not
+        // re-grow every step — but never let the pad push the window
+        // past MAX_DENSE_SPAN: the final window must always cover
+        // [min, max] exactly, or the relocation below would write old
+        // cells outside the new table.
+        let pad_x = (span_x / 4).max(2).min((MAX_DENSE_SPAN - span_x) / 2) as i32;
+        let pad_y = (span_y / 4).max(2).min((MAX_DENSE_SPAN - span_y) / 2) as i32;
+        let new_min_x = min_x.saturating_sub(pad_x).max(-CELL_COORD_LIMIT);
+        let new_min_y = min_y.saturating_sub(pad_y).max(-CELL_COORD_LIMIT);
+        let new_max_x = max_x.saturating_add(pad_x).min(CELL_COORD_LIMIT);
+        let new_max_y = max_y.saturating_add(pad_y).min(CELL_COORD_LIMIT);
+        let new_w = (new_max_x as i64 - new_min_x as i64 + 1) as i32;
+        let new_h = (new_max_y as i64 - new_min_y as i64 + 1) as i32;
+        debug_assert!(
+            new_min_x <= min_x
+                && new_min_y <= min_y
+                && new_max_x >= max_x
+                && new_max_y >= max_y
+                && (new_w as i64) <= MAX_DENSE_SPAN
+                && (new_h as i64) <= MAX_DENSE_SPAN,
+            "grown window must cover the union span within the cap"
+        );
+        let mut new_cells: Vec<Vec<u32>> = Vec::new();
+        new_cells.resize_with(new_w as usize * new_h as usize, Vec::new);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let old =
+                    std::mem::take(&mut self.cells[y as usize * self.width as usize + x as usize]);
+                if old.is_empty() {
+                    continue;
+                }
+                let nx = (self.origin.0 + x - new_min_x) as usize;
+                let ny = (self.origin.1 + y - new_min_y) as usize;
+                new_cells[ny * new_w as usize + nx] = old;
+            }
+        }
+        self.origin = (new_min_x, new_min_y);
+        self.width = new_w;
+        self.height = new_h;
+        self.cells = new_cells;
+        // Overflow cells that now fall inside the window move in.
+        let inside: Vec<(i32, i32)> = self
+            .overflow
+            .keys()
+            .copied()
+            .filter(|&k| self.dense_index(k).is_some())
+            .collect();
+        for k in inside {
+            let v = self.overflow.remove(&k).expect("key just listed");
+            let i = self.dense_index(k).expect("key checked inside");
+            self.cells[i] = v;
+        }
+        self.dense_index(c)
+    }
+
+    fn push(&mut self, c: (i32, i32), id: u32) {
+        match self.dense_index(c).or_else(|| self.grow_to(c)) {
+            Some(i) => self.cells[i].push(id),
+            None => self.overflow.entry(c).or_default().push(id),
+        }
+    }
+
+    fn remove(&mut self, c: (i32, i32), id: u32) {
+        match self.dense_index(c) {
+            Some(i) => {
+                let v = &mut self.cells[i];
+                if let Some(p) = v.iter().position(|&x| x == id) {
+                    v.swap_remove(p);
+                }
+            }
+            None => {
+                if let Some(v) = self.overflow.get_mut(&c) {
+                    if let Some(p) = v.iter().position(|&x| x == id) {
+                        v.swap_remove(p);
+                    }
+                    if v.is_empty() {
+                        self.overflow.remove(&c);
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// A uniform-grid spatial index over `(u32 id, Point)` entries.
 ///
@@ -24,10 +192,11 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     cell: f64,
-    /// Sparse cell map: integer cell coords -> ids in that cell.
-    cells: HashMap<(i32, i32), Vec<u32>>,
-    /// Reverse map: id -> (position, cell) for O(1) removal/relocation.
-    entries: HashMap<u32, (Point, (i32, i32))>,
+    table: CellTable,
+    /// Reverse slab: `entries[id]` = (position, cell) for O(1)
+    /// removal/relocation. Ids index directly; keep them dense.
+    entries: Vec<Option<(Point, (i32, i32))>>,
+    len: usize,
 }
 
 impl SpatialGrid {
@@ -45,19 +214,20 @@ impl SpatialGrid {
         );
         SpatialGrid {
             cell: cell_size,
-            cells: HashMap::new(),
-            entries: HashMap::new(),
+            table: CellTable::default(),
+            entries: Vec::new(),
+            len: 0,
         }
     }
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// The configured cell side length.
@@ -67,62 +237,60 @@ impl SpatialGrid {
 
     #[inline]
     fn cell_of(&self, p: &Point) -> (i32, i32) {
-        (
-            (p.x / self.cell).floor() as i32,
-            (p.y / self.cell).floor() as i32,
-        )
+        (cell_coord(p.x, self.cell), cell_coord(p.y, self.cell))
+    }
+
+    #[inline]
+    fn entry(&self, id: u32) -> Option<&(Point, (i32, i32))> {
+        self.entries.get(id as usize).and_then(Option::as_ref)
+    }
+
+    fn slot_mut(&mut self, id: u32) -> &mut Option<(Point, (i32, i32))> {
+        let i = id as usize;
+        if i >= self.entries.len() {
+            self.entries.resize(i + 1, None);
+        }
+        &mut self.entries[i]
     }
 
     /// Inserts `id` at `pos`. Returns `false` (and does nothing) if the
     /// id is already present; use [`SpatialGrid::relocate`] to move it.
     pub fn insert(&mut self, id: u32, pos: Point) -> bool {
-        if self.entries.contains_key(&id) {
+        if self.entry(id).is_some() {
             return false;
         }
         let c = self.cell_of(&pos);
-        self.cells.entry(c).or_default().push(id);
-        self.entries.insert(id, (pos, c));
+        self.table.push(c, id);
+        *self.slot_mut(id) = Some((pos, c));
+        self.len += 1;
         true
     }
 
     /// Removes `id`. Returns its last position, or `None` if absent.
     pub fn remove(&mut self, id: u32) -> Option<Point> {
-        let (pos, c) = self.entries.remove(&id)?;
-        if let Some(v) = self.cells.get_mut(&c) {
-            if let Some(i) = v.iter().position(|&x| x == id) {
-                v.swap_remove(i);
-            }
-            if v.is_empty() {
-                self.cells.remove(&c);
-            }
-        }
+        let (pos, c) = self.entries.get_mut(id as usize).and_then(Option::take)?;
+        self.table.remove(c, id);
+        self.len -= 1;
         Some(pos)
     }
 
     /// Moves `id` to `new_pos`. Returns `false` if the id is absent.
     pub fn relocate(&mut self, id: u32, new_pos: Point) -> bool {
-        let Some(&(_, old_cell)) = self.entries.get(&id) else {
+        let Some(&(_, old_cell)) = self.entry(id) else {
             return false;
         };
         let new_cell = self.cell_of(&new_pos);
         if new_cell != old_cell {
-            if let Some(v) = self.cells.get_mut(&old_cell) {
-                if let Some(i) = v.iter().position(|&x| x == id) {
-                    v.swap_remove(i);
-                }
-                if v.is_empty() {
-                    self.cells.remove(&old_cell);
-                }
-            }
-            self.cells.entry(new_cell).or_default().push(id);
+            self.table.remove(old_cell, id);
+            self.table.push(new_cell, id);
         }
-        self.entries.insert(id, (new_pos, new_cell));
+        *self.slot_mut(id) = Some((new_pos, new_cell));
         true
     }
 
     /// The current position of `id`, if indexed.
     pub fn position(&self, id: u32) -> Option<Point> {
-        self.entries.get(&id).map(|&(p, _)| p)
+        self.entry(id).map(|&(p, _)| p)
     }
 
     /// Calls `f(id, pos)` for every entry within distance `radius` of
@@ -135,21 +303,40 @@ impl SpatialGrid {
             return;
         }
         let r2 = radius * radius;
-        let min_cx = ((center.x - radius) / self.cell).floor() as i32;
-        let max_cx = ((center.x + radius) / self.cell).floor() as i32;
-        let min_cy = ((center.y - radius) / self.cell).floor() as i32;
-        let max_cy = ((center.y + radius) / self.cell).floor() as i32;
-        for cx in min_cx..=max_cx {
-            for cy in min_cy..=max_cy {
-                let Some(ids) = self.cells.get(&(cx, cy)) else {
-                    continue;
-                };
-                for &id in ids {
-                    let p = self.entries[&id].0;
-                    if p.dist2(center) <= r2 {
-                        f(id, p);
-                    }
+        let min_cx = cell_coord(center.x - radius, self.cell);
+        let max_cx = cell_coord(center.x + radius, self.cell);
+        let min_cy = cell_coord(center.y - radius, self.cell);
+        let max_cy = cell_coord(center.y + radius, self.cell);
+        let report = |ids: &[u32], f: &mut F| {
+            for &id in ids {
+                let p = self.entries[id as usize].expect("listed id is present").0;
+                if p.dist2(center) <= r2 {
+                    f(id, p);
                 }
+            }
+        };
+        // Dense window: intersect the query range with the window so a
+        // clamped far-out range cannot walk billions of cells.
+        let t = &self.table;
+        if t.width > 0 {
+            let lo_x = min_cx.max(t.origin.0);
+            let hi_x = max_cx.min(t.origin.0 + t.width - 1);
+            let lo_y = min_cy.max(t.origin.1);
+            let hi_y = max_cy.min(t.origin.1 + t.height - 1);
+            for cy in lo_y..=hi_y {
+                if lo_x > hi_x {
+                    break;
+                }
+                let row = (cy - t.origin.1) as usize * t.width as usize;
+                for cx in lo_x..=hi_x {
+                    report(&t.cells[row + (cx - t.origin.0) as usize], &mut f);
+                }
+            }
+        }
+        // Overflow cells are few; scan them by membership, not range.
+        for (&(cx, cy), ids) in &t.overflow {
+            if (min_cx..=max_cx).contains(&cx) && (min_cy..=max_cy).contains(&cy) {
+                report(ids, &mut f);
             }
         }
     }
@@ -163,9 +350,12 @@ impl SpatialGrid {
         out
     }
 
-    /// Iterates over all `(id, position)` entries in unspecified order.
+    /// Iterates over all `(id, position)` entries in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, Point)> + '_ {
-        self.entries.iter().map(|(&id, &(p, _))| (id, p))
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|(p, _)| (i as u32, p)))
     }
 }
 
@@ -257,6 +447,71 @@ mod tests {
     #[should_panic(expected = "cell_size")]
     fn zero_cell_size_panics() {
         let _ = SpatialGrid::new(0.0);
+    }
+
+    /// Regression: coordinates far beyond any sane arena used to
+    /// saturate the `f64 → i32` cell cast, and a query near them would
+    /// then try to walk the whole i32 cell range. The centralized
+    /// clamped conversion plus window-clipped queries must keep both
+    /// insertion and queries exact and fast.
+    #[test]
+    fn far_out_coordinates_are_clamped_not_lost() {
+        let mut g = SpatialGrid::new(5.0);
+        g.insert(1, Point::new(0.0, 0.0));
+        g.insert(2, Point::new(1e300, 1e300));
+        g.insert(3, Point::new(-1e300, 7.0));
+        assert_eq!(g.len(), 3);
+        // Queries near the origin see only the near point, even with a
+        // radius that (clamped) reaches the far cells.
+        assert_eq!(g.within(&Point::new(0.0, 0.0), 10.0), vec![1]);
+        // The far points are found where they were stored.
+        assert_eq!(g.within(&Point::new(1e300, 1e300), 1.0), vec![2]);
+        assert_eq!(g.within(&Point::new(-1e300, 7.0), 1.0), vec![3]);
+        // A clamped full-plane query still terminates and sees all.
+        assert_eq!(g.within(&Point::new(0.0, 0.0), 1e305), vec![1, 2, 3]);
+        // Far entries relocate back into the normal window.
+        assert!(g.relocate(2, Point::new(3.0, 3.0)));
+        assert_eq!(g.within(&Point::new(0.0, 0.0), 10.0), vec![1, 2]);
+        assert_eq!(g.remove(3), Some(Point::new(-1e300, 7.0)));
+        assert_eq!(g.len(), 2);
+    }
+
+    /// Regression: growing the window close to `MAX_DENSE_SPAN` used
+    /// to truncate the padded width while still relocating old cells
+    /// by untruncated offsets, silently dropping entries near the
+    /// window edge.
+    #[test]
+    fn near_cap_window_growth_keeps_edge_entries() {
+        let mut g = SpatialGrid::new(1.0);
+        g.insert(0, Point::new(0.5, 0.5));
+        g.insert(1, Point::new(2600.5, 0.5));
+        g.insert(2, Point::new(3250.5, 0.5));
+        // This grow pushes the padded span past the cap; the window
+        // must shrink its *pad*, not the required range.
+        g.insert(3, Point::new(3300.5, 0.5));
+        for (id, x) in [(0u32, 0.5), (1, 2600.5), (2, 3250.5), (3, 3300.5)] {
+            assert_eq!(
+                g.within(&Point::new(x, 0.5), 0.9),
+                vec![id],
+                "entry {id} lost at x={x}"
+            );
+        }
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn window_growth_preserves_entries() {
+        let mut g = SpatialGrid::new(1.0);
+        // Force repeated window growth by walking outward.
+        for i in 0..200u32 {
+            let x = (i as f64) * 7.0 * if i % 2 == 0 { 1.0 } else { -1.0 };
+            g.insert(i, Point::new(x, -x));
+        }
+        assert_eq!(g.len(), 200);
+        for i in 0..200u32 {
+            let x = (i as f64) * 7.0 * if i % 2 == 0 { 1.0 } else { -1.0 };
+            assert_eq!(g.within(&Point::new(x, -x), 0.5), vec![i]);
+        }
     }
 
     proptest! {

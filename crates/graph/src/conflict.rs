@@ -14,7 +14,7 @@
 //! \[9\]). The *constraints* of a node in the paper's terminology are the
 //! colors of its conflict partners.
 
-use crate::assign::{Assignment, Color};
+use crate::assign::{Assignment, Color, ColorRead};
 use crate::digraph::{DiGraph, NodeId};
 use crate::ugraph::UGraph;
 use std::collections::HashSet;
@@ -236,9 +236,16 @@ pub fn conflicts_of(g: &DiGraph, u: NodeId) -> Vec<NodeId> {
 /// `u` — i.e. the colors currently assigned to its conflict partners.
 /// Uncolored partners impose no constraint.
 pub fn constraint_colors(g: &DiGraph, a: &Assignment, u: NodeId) -> Vec<Color> {
+    constraint_colors_with(g, a, u)
+}
+
+/// [`constraint_colors`] against any [`ColorRead`] source — used by
+/// batch-mode strategy planning, which reads colors through a
+/// [`crate::ColorView`] overlay instead of the committed assignment.
+pub fn constraint_colors_with<C: ColorRead>(g: &DiGraph, colors: &C, u: NodeId) -> Vec<Color> {
     let mut v: Vec<Color> = conflicts_of(g, u)
         .into_iter()
-        .filter_map(|p| a.get(p))
+        .filter_map(|p| colors.color(p))
         .collect();
     v.sort_unstable();
     v.dedup();

@@ -32,7 +32,7 @@ pub mod digraph;
 pub mod hops;
 pub mod ugraph;
 
-pub use assign::{Assignment, Color};
+pub use assign::{Assignment, Color, ColorRead, ColorView};
 pub use components::{connected_components, Components};
 pub use digraph::{DiGraph, NodeId};
 pub use ugraph::UGraph;

@@ -1,0 +1,390 @@
+//! Sharding event batches into spatially independent groups.
+//!
+//! The paper's locality result says one reconfiguration event only
+//! perturbs (and a strategy only reads) a bounded spatial neighborhood
+//! of the initiating node. Events whose neighborhoods are disjoint
+//! therefore **commute**: applying them in either order — or on
+//! different copies of the affected regions — produces the same
+//! network. A [`BatchPlan`] partitions a slice of [`Event`]s into
+//! *shards*: the connected components of the "neighborhoods overlap"
+//! relation, computed conservatively on grid cells. Two events in
+//! different shards are guaranteed never to read or write any common
+//! state, so
+//!
+//! * each shard can execute end-to-end (topology, recode planning,
+//!   commit) on a private copy of its region, in parallel with every
+//!   other shard, and
+//! * within a shard, events keep their original relative order,
+//!
+//! which makes shard-parallel execution *conflict-serializable*:
+//! provably equivalent to sequential execution in the original order.
+//! `minim-sim`'s `run_events_batched` builds on this to make one
+//! large-N scenario scale across cores while staying bit-identical to
+//! `run_events`.
+//!
+//! # The conservative neighborhood
+//!
+//! Let `B` be an upper bound on every transmission range that can
+//! occur while the batch executes (the network's monotone
+//! [`Network::range_bound`] joined with every range the events
+//! themselves introduce). Measured from the event's anchor
+//! position(s), every strategy read or write stays within a bounded
+//! number of graph hops, each of length ≤ `B`:
+//!
+//! * topology changes are incident to the initiator — reach ≤ `B`;
+//! * join/move/leave recoding writes the recode set (one hop, ≤ `B`)
+//!   and reads its members' constraint colors and 2-hop surroundings
+//!   — reach ≤ `3B`;
+//! * a power increase under CP can rewrite two-hop nodes (`≤ 2B`)
+//!   whose reselection reads two hops further — reach ≤ `4B`.
+//!
+//! Each event therefore claims every grid cell intersecting a disc of
+//! radius `3B` (`4B` for range changes) around its anchors; events
+//! whose claims share a cell are unioned into one shard. Cell
+//! granularity only ever *adds* conflicts, never hides one, so the
+//! partition stays sound.
+
+use crate::event::Event;
+use crate::Network;
+use minim_geom::grid::cell_coord;
+use minim_geom::Point;
+use minim_graph::NodeId;
+use std::collections::HashMap;
+
+/// Union-find over event indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Attach the larger root index under the smaller so shard
+            // identity is deterministic.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// A partition of an event slice into spatially independent shards,
+/// plus the sequential pre-assignment of join ids.
+///
+/// Shard lists hold indices into the original event slice, ascending
+/// within each shard; shards are ordered by their first event.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    shards: Vec<Vec<usize>>,
+    join_ids: Vec<Option<NodeId>>,
+    /// Claim-cell side length used during planning.
+    cell: f64,
+    /// Every claimed cell, mapped to the shard that owns it.
+    cell_shard: HashMap<(i32, i32), usize>,
+}
+
+impl BatchPlan {
+    /// Plans `events` against the current state of `net` (which the
+    /// plan does **not** mutate — positions are tracked on a ghost
+    /// overlay as the scan walks the slice).
+    ///
+    /// # Panics
+    /// Panics if an event references a node that is neither present in
+    /// `net` nor created by an earlier event of the slice — such a
+    /// sequence would panic during execution anyway.
+    pub fn new(net: &Network, events: &[Event]) -> BatchPlan {
+        // The range bound every claim radius is derived from: the
+        // network's monotone bound joined with every range the events
+        // introduce. Conservative by construction — a node not yet
+        // inserted cannot be anyone's neighbor, and a bound that is
+        // too large only merges shards.
+        let mut bound = net.range_bound();
+        for e in events {
+            match e {
+                Event::Join { cfg } => bound = bound.max(cfg.range),
+                Event::SetRange { range, .. } => bound = bound.max(*range),
+                _ => {}
+            }
+        }
+        // Claim-cell side length. With a zero bound no edges can ever
+        // exist and events only conflict on identical anchors; any
+        // positive cell size is then correct.
+        let cell = if bound > 0.0 { bound } else { 1.0 };
+
+        // Ghost positions: where each node is *at that point of the
+        // slice* (joins and moves update it; the base network answers
+        // for everyone else).
+        let mut ghost: HashMap<NodeId, Point> = HashMap::new();
+        let pos_of = |ghost: &HashMap<NodeId, Point>, net: &Network, id: NodeId| -> Point {
+            ghost.get(&id).copied().unwrap_or_else(|| {
+                net.config(id)
+                    .unwrap_or_else(|| panic!("batch plan: event references missing node {id}"))
+                    .pos
+            })
+        };
+
+        let mut next_join = net.peek_next_id().0;
+        let mut join_ids = vec![None; events.len()];
+        let mut uf = UnionFind::new(events.len());
+        let mut cell_owner: HashMap<(i32, i32), usize> = HashMap::new();
+        let mut anchors: Vec<Point> = Vec::with_capacity(2);
+
+        for (i, e) in events.iter().enumerate() {
+            anchors.clear();
+            // Claim radius: the full read/write reach (see module
+            // docs) — 3B for one-hop-writing events, 4B for range
+            // changes (two-hop writes under CP).
+            let claim = match e {
+                Event::Join { cfg } => {
+                    let id = NodeId(next_join);
+                    next_join += 1;
+                    join_ids[i] = Some(id);
+                    ghost.insert(id, cfg.pos);
+                    anchors.push(cfg.pos);
+                    3.0 * bound
+                }
+                Event::Leave { node } => {
+                    let p = pos_of(&ghost, net, *node);
+                    ghost.remove(node);
+                    anchors.push(p);
+                    3.0 * bound
+                }
+                Event::Move { node, to } => {
+                    let from = pos_of(&ghost, net, *node);
+                    ghost.insert(*node, *to);
+                    anchors.push(from);
+                    anchors.push(*to);
+                    3.0 * bound
+                }
+                Event::SetRange { node, .. } => {
+                    anchors.push(pos_of(&ghost, net, *node));
+                    4.0 * bound
+                }
+            };
+
+            for a in &anchors {
+                let min_cx = cell_coord(a.x - claim, cell);
+                let max_cx = cell_coord(a.x + claim, cell);
+                let min_cy = cell_coord(a.y - claim, cell);
+                let max_cy = cell_coord(a.y + claim, cell);
+                for cx in min_cx..=max_cx {
+                    for cy in min_cy..=max_cy {
+                        match cell_owner.entry((cx, cy)) {
+                            std::collections::hash_map::Entry::Occupied(o) => {
+                                uf.union(i, *o.get());
+                            }
+                            std::collections::hash_map::Entry::Vacant(v) => {
+                                v.insert(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Group events by root, shards ordered by first event.
+        let mut shard_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut shards: Vec<Vec<usize>> = Vec::new();
+        for i in 0..events.len() {
+            let root = uf.find(i);
+            let s = *shard_of_root.entry(root).or_insert_with(|| {
+                shards.push(Vec::new());
+                shards.len() - 1
+            });
+            shards[s].push(i);
+        }
+        let cell_shard = cell_owner
+            .into_iter()
+            .map(|(c, owner)| (c, shard_of_root[&uf.find(owner)]))
+            .collect();
+
+        BatchPlan {
+            shards,
+            join_ids,
+            cell,
+            cell_shard,
+        }
+    }
+
+    /// The shards, ordered by first event; each shard lists event
+    /// indices in ascending (original) order.
+    pub fn shards(&self) -> &[Vec<usize>] {
+        &self.shards
+    }
+
+    /// The id pre-assigned to the join at `event_index` (`None` for
+    /// non-join events). Matches what sequential execution would
+    /// allocate.
+    pub fn join_id(&self, event_index: usize) -> Option<NodeId> {
+        self.join_ids[event_index]
+    }
+
+    /// Number of shards (the attainable parallel width).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The size of the largest shard (the critical path of
+    /// shard-parallel execution, in events).
+    pub fn max_shard_len(&self) -> usize {
+        self.shards.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The shard whose claimed region contains `p`, if any. Everything
+    /// a shard's events can read or write lies inside its claimed
+    /// cells, so a node at an unclaimed position is untouched by (and
+    /// invisible to) the whole batch.
+    pub fn shard_of_point(&self, p: &Point) -> Option<usize> {
+        self.cell_shard
+            .get(&(cell_coord(p.x, self.cell), cell_coord(p.y, self.cell)))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::apply_topology;
+    use crate::NodeConfig;
+
+    fn join_at(x: f64, y: f64, r: f64) -> Event {
+        Event::Join {
+            cfg: NodeConfig::new(Point::new(x, y), r),
+        }
+    }
+
+    #[test]
+    fn far_apart_events_get_their_own_shards() {
+        let net = Network::new(5.0);
+        // Two joins 1000 apart with range 5: neighborhoods cannot
+        // touch, so they shard independently.
+        let events = vec![join_at(0.0, 0.0, 5.0), join_at(1000.0, 0.0, 5.0)];
+        let plan = BatchPlan::new(&net, &events);
+        assert_eq!(plan.shard_count(), 2);
+        assert_eq!(plan.shards(), &[vec![0], vec![1]]);
+        assert_eq!(plan.max_shard_len(), 1);
+    }
+
+    #[test]
+    fn nearby_events_share_a_shard_in_order() {
+        let net = Network::new(5.0);
+        let events = vec![
+            join_at(0.0, 0.0, 5.0),
+            join_at(1000.0, 0.0, 5.0),
+            join_at(3.0, 0.0, 5.0),
+        ];
+        let plan = BatchPlan::new(&net, &events);
+        assert_eq!(plan.shard_count(), 2);
+        // Events 0 and 2 interact and stay ordered within one shard.
+        assert_eq!(plan.shards()[0], vec![0, 2]);
+        assert_eq!(plan.shards()[1], vec![1]);
+    }
+
+    #[test]
+    fn overlap_chains_merge_transitively() {
+        let net = Network::new(5.0);
+        // a—b overlap, b—c overlap, a—c do not directly: still one
+        // shard (the relation is closed transitively).
+        let events = vec![
+            join_at(0.0, 0.0, 5.0),
+            join_at(28.0, 0.0, 5.0),
+            join_at(56.0, 0.0, 5.0),
+        ];
+        let plan = BatchPlan::new(&net, &events);
+        assert_eq!(plan.shard_count(), 1);
+        assert_eq!(plan.shards()[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn join_ids_match_sequential_allocation() {
+        let mut net = Network::new(5.0);
+        net.join(NodeConfig::new(Point::new(0.0, 0.0), 2.0));
+        let events = vec![
+            join_at(100.0, 0.0, 2.0),
+            Event::Leave { node: NodeId(0) },
+            join_at(200.0, 0.0, 2.0),
+        ];
+        let plan = BatchPlan::new(&net, &events);
+        assert_eq!(plan.join_id(0), Some(NodeId(1)));
+        assert_eq!(plan.join_id(1), None);
+        assert_eq!(plan.join_id(2), Some(NodeId(2)));
+        // Sequential application allocates the same ids.
+        let mut seq = net.clone();
+        for e in &events {
+            apply_topology(&mut seq, e);
+        }
+        assert!(seq.contains(NodeId(1)) && seq.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn moves_claim_both_endpoints() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 5.0));
+        let events = vec![
+            Event::Move {
+                node: a,
+                to: Point::new(500.0, 0.0),
+            },
+            // A join at the move's *destination* must land in the
+            // mover's shard even though the mover started far away.
+            join_at(503.0, 0.0, 5.0),
+            join_at(1500.0, 0.0, 5.0),
+        ];
+        let plan = BatchPlan::new(&net, &events);
+        assert_eq!(plan.shard_count(), 2);
+        assert_eq!(plan.shards()[0], vec![0, 1]);
+        assert_eq!(plan.shards()[1], vec![2]);
+    }
+
+    #[test]
+    fn ghost_positions_track_earlier_moves() {
+        let mut net = Network::new(5.0);
+        let a = net.join(NodeConfig::new(Point::new(0.0, 0.0), 5.0));
+        let events = vec![
+            Event::Move {
+                node: a,
+                to: Point::new(500.0, 0.0),
+            },
+            // This leave anchors at the *new* position — same shard as
+            // the move via the destination cells.
+            Event::Leave { node: a },
+            join_at(1500.0, 0.0, 5.0),
+        ];
+        let plan = BatchPlan::new(&net, &events);
+        assert_eq!(plan.shard_count(), 2);
+        assert_eq!(plan.shards()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn shard_of_point_covers_claims_only() {
+        let net = Network::new(5.0);
+        let events = vec![join_at(0.0, 0.0, 5.0), join_at(1000.0, 0.0, 5.0)];
+        let plan = BatchPlan::new(&net, &events);
+        assert_eq!(plan.shard_of_point(&Point::new(0.0, 0.0)), Some(0));
+        assert_eq!(plan.shard_of_point(&Point::new(1000.0, 0.0)), Some(1));
+        // Halfway between the two claims, nobody owns the space.
+        assert_eq!(plan.shard_of_point(&Point::new(500.0, 0.0)), None);
+    }
+
+    #[test]
+    fn zero_range_events_only_conflict_on_shared_cells() {
+        let net = Network::new(5.0);
+        let events = vec![join_at(0.0, 0.0, 0.0), join_at(10.0, 0.0, 0.0)];
+        let plan = BatchPlan::new(&net, &events);
+        assert_eq!(plan.shard_count(), 2);
+    }
+}

@@ -101,29 +101,44 @@ impl AppliedEvent {
 /// application too, so they call the underlying `Network` methods
 /// directly — this helper exists for replay/debug tooling.
 pub fn apply_topology(net: &mut Network, event: &Event) -> AppliedEvent {
+    apply_topology_delta(net, event, None).0
+}
+
+/// [`apply_topology`] keeping the [`crate::TopologyDelta`] and
+/// optionally pinning the id a join allocates.
+///
+/// The batch executor applies a wave's events out of original order;
+/// passing each join's sequentially pre-assigned id (from
+/// [`Network::peek_next_id`](crate::Network::peek_next_id) accounting)
+/// keeps id allocation — and therefore every downstream color decision
+/// — bit-identical to sequential execution. `join_id` is ignored for
+/// non-join events.
+///
+/// # Panics
+/// Panics if a pinned `join_id` is already present.
+pub fn apply_topology_delta(
+    net: &mut Network,
+    event: &Event,
+    join_id: Option<NodeId>,
+) -> (AppliedEvent, crate::TopologyDelta) {
     match event {
         Event::Join { cfg } => {
-            let id = net.next_id();
-            net.insert_node(id, *cfg);
-            AppliedEvent::Joined(id)
+            let id = join_id.unwrap_or_else(|| net.next_id());
+            let delta = net.insert_node(id, *cfg);
+            (AppliedEvent::Joined(id), delta)
         }
         Event::Leave { node } => {
-            net.remove_node(*node);
-            AppliedEvent::Left(*node)
+            let delta = net.remove_node(*node);
+            (AppliedEvent::Left(*node), delta)
         }
         Event::Move { node, to } => {
-            net.move_node(*node, *to);
-            AppliedEvent::Moved(*node)
+            let delta = net.move_node(*node, *to);
+            (AppliedEvent::Moved(*node), delta)
         }
         Event::SetRange { node, range } => {
-            let dir = Event::SetRange {
-                node: *node,
-                range: *range,
-            }
-            .power_direction(net)
-            .expect("node must exist");
-            net.set_range(*node, *range);
-            AppliedEvent::RangeChanged(*node, dir)
+            let dir = event.power_direction(net).expect("node must exist");
+            let delta = net.set_range(*node, *range);
+            (AppliedEvent::RangeChanged(*node, dir), delta)
         }
     }
 }

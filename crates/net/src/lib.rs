@@ -46,7 +46,9 @@ use minim_geom::segment::line_of_sight_blocked;
 use minim_geom::{Point, Rect, Segment, SpatialGrid};
 use minim_graph::conflict;
 use minim_graph::{Assignment, Color, DiGraph, NodeId};
-use std::collections::HashMap;
+
+pub mod batch;
+pub use batch::BatchPlan;
 
 /// A node's radio configuration: where it is and how far it transmits.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,10 +137,17 @@ impl JoinPartitions {
 
 /// A power-controlled ad-hoc network with its induced digraph and the
 /// current code assignment.
+///
+/// Hot-path state is stored in dense slabs indexed by [`NodeId`]
+/// (node configurations here, adjacency in [`DiGraph`], colors in
+/// [`Assignment`], positions in [`SpatialGrid`]) — ids are allocated
+/// densely from 0, so every per-node lookup is direct indexing.
 #[derive(Debug, Clone)]
 pub struct Network {
     graph: DiGraph,
-    configs: HashMap<NodeId, NodeConfig>,
+    /// Dense slab aligned with the digraph's slots:
+    /// `configs[id.index()]` is the node's radio configuration.
+    configs: Vec<Option<NodeConfig>>,
     grid: SpatialGrid,
     assignment: Assignment,
     next_id: u32,
@@ -158,7 +167,7 @@ impl Network {
     pub fn new(cell_size_hint: f64) -> Self {
         Network {
             graph: DiGraph::new(),
-            configs: HashMap::new(),
+            configs: Vec::new(),
             grid: SpatialGrid::new(cell_size_hint),
             assignment: Assignment::new(),
             next_id: 0,
@@ -176,7 +185,9 @@ impl Network {
     /// rewire that severed it).
     pub fn add_obstacle(&mut self, wall: Segment) -> Vec<TopologyDelta> {
         self.obstacles.push(wall);
-        let ids = self.node_ids();
+        // Hold the ids across the rewires below (which mutate the
+        // graph), so the allocation is necessary here.
+        let ids: Vec<NodeId> = self.iter_nodes().collect();
         let mut deltas = Vec::new();
         for id in ids {
             let delta = self.rewire(id, DeltaKind::Rewire);
@@ -205,6 +216,28 @@ impl Network {
         id
     }
 
+    /// The id the next [`Network::next_id`] call would return, without
+    /// allocating it. Batch planning pre-assigns join ids with this so
+    /// out-of-order (wave) application allocates the same ids as
+    /// sequential execution.
+    pub fn peek_next_id(&self) -> NodeId {
+        NodeId(self.next_id)
+    }
+
+    /// The monotone upper bound on every present node's transmission
+    /// range (it never shrinks on removals — conservative but correct).
+    /// Used as the in-neighbor query radius and by batch planning to
+    /// size conservative event neighborhoods.
+    pub fn range_bound(&self) -> f64 {
+        self.max_range_bound
+    }
+
+    /// The spatial-index cell size this network was built with. Shard
+    /// execution sizes its per-shard subnetworks with the same hint.
+    pub fn cell_size_hint(&self) -> f64 {
+        self.grid.cell_size()
+    }
+
     /// The induced digraph.
     pub fn graph(&self) -> &DiGraph {
         &self.graph
@@ -222,8 +255,18 @@ impl Network {
     }
 
     /// The configuration of `id`, if present.
+    #[inline]
     pub fn config(&self, id: NodeId) -> Option<NodeConfig> {
-        self.configs.get(&id).copied()
+        self.configs.get(id.index()).copied().flatten()
+    }
+
+    /// Mutable slot for `id`'s configuration, growing the slab.
+    fn config_slot(&mut self, id: NodeId) -> &mut Option<NodeConfig> {
+        let i = id.index();
+        if i >= self.configs.len() {
+            self.configs.resize(i + 1, None);
+        }
+        &mut self.configs[i]
     }
 
     /// Number of nodes.
@@ -273,7 +316,7 @@ impl Network {
             "insert_node: {id} already present"
         );
         self.graph.insert_node(id);
-        self.configs.insert(id, cfg);
+        *self.config_slot(id) = Some(cfg);
         self.next_id = self.next_id.max(id.0 + 1);
         self.max_range_bound = self.max_range_bound.max(cfg.range);
         self.grid.insert(id.0, cfg.pos);
@@ -312,7 +355,7 @@ impl Network {
             .collect();
         removed.extend(self.graph.in_neighbors(id).iter().map(|&u| (u, id)));
         self.graph.remove_node(id);
-        self.configs.remove(&id);
+        self.configs[id.index()] = None;
         self.grid.remove(id.0);
         self.assignment.unset(id);
         TopologyDelta::new(
@@ -332,7 +375,11 @@ impl Network {
     /// # Panics
     /// Panics if `id` is absent.
     pub fn move_node(&mut self, id: NodeId, to: Point) -> TopologyDelta {
-        let cfg = self.configs.get_mut(&id).expect("move_node: missing node");
+        let cfg = self
+            .configs
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .expect("move_node: missing node");
         cfg.pos = to;
         self.grid.relocate(id.0, to);
         self.rewire(id, DeltaKind::Move)
@@ -353,7 +400,11 @@ impl Network {
             range.is_finite() && range >= 0.0,
             "range must be finite and non-negative, got {range}"
         );
-        let cfg = self.configs.get_mut(&id).expect("set_range: missing node");
+        let cfg = self
+            .configs
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .expect("set_range: missing node");
         cfg.range = range;
         self.max_range_bound = self.max_range_bound.max(range);
         let pos = cfg.pos;
@@ -381,7 +432,7 @@ impl Network {
     /// the geometry, returning the exact edge delta. Used on insert,
     /// move, and obstacle installation.
     fn rewire(&mut self, id: NodeId, kind: DeltaKind) -> TopologyDelta {
-        let cfg = self.configs[&id];
+        let cfg = self.config(id).expect("rewire: missing node");
         let old_out: Vec<NodeId> = self.graph.out_neighbors(id).to_vec();
         let old_in: Vec<NodeId> = self.graph.in_neighbors(id).to_vec();
         self.graph.clear_node_edges(id);
@@ -406,7 +457,8 @@ impl Network {
                     return;
                 }
                 let u = NodeId(other);
-                if opos.within(&cfg.pos, self.configs[&u].range)
+                let u_range = self.configs[u.index()].expect("indexed node").range;
+                if opos.within(&cfg.pos, u_range)
                     && !line_of_sight_blocked(&self.obstacles, &opos, &cfg.pos)
                 {
                     inn.push(u);
@@ -474,14 +526,13 @@ impl Network {
     /// asserts it matches the incrementally maintained one. Debug aid
     /// used by tests and failure injection.
     pub fn check_topology(&self) {
-        let ids = self.node_ids();
-        for &u in &ids {
-            let cu = self.configs[&u];
-            for &v in &ids {
+        for u in self.iter_nodes() {
+            let cu = self.configs[u.index()].expect("present node");
+            for v in self.iter_nodes() {
                 if u == v {
                     continue;
                 }
-                let cv = self.configs[&v];
+                let cv = self.configs[v.index()].expect("present node");
                 let expect = cu.pos.within(&cv.pos, cu.range)
                     && !line_of_sight_blocked(&self.obstacles, &cu.pos, &cv.pos);
                 assert_eq!(
@@ -502,13 +553,14 @@ impl Network {
     /// Access to the arena-independent spatial state, for rendering and
     /// debugging: `(id, position, range, color)` tuples sorted by id.
     pub fn describe(&self) -> Vec<(NodeId, Point, f64, Option<Color>)> {
-        let mut v: Vec<_> = self
-            .configs
+        self.configs
             .iter()
-            .map(|(&id, cfg)| (id, cfg.pos, cfg.range, self.assignment.get(id)))
-            .collect();
-        v.sort_by_key(|&(id, ..)| id);
-        v
+            .enumerate()
+            .filter_map(|(i, cfg)| {
+                let id = NodeId(i as u32);
+                cfg.map(|c| (id, c.pos, c.range, self.assignment.get(id)))
+            })
+            .collect()
     }
 }
 

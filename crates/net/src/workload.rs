@@ -112,7 +112,9 @@ impl PowerRaiseWorkload {
             "raisefactor must be >= 1 (this is a raise), got {}",
             self.raisefactor
         );
-        let mut ids: Vec<NodeId> = net.node_ids();
+        // The shuffle needs an owned list; collect from the borrowing
+        // iterator.
+        let mut ids: Vec<NodeId> = net.iter_nodes().collect();
         ids.shuffle(rng);
         let k = ((ids.len() as f64) * self.fraction).round() as usize;
         ids.truncate(k);
@@ -205,8 +207,8 @@ impl ChurnWorkload {
             (0.0..=1.0).contains(&self.join_prob),
             "join_prob must be a probability"
         );
-        let ids = net.node_ids();
-        if ids.is_empty() || rng.gen_bool(self.join_prob) {
+        let count = net.node_count();
+        if count == 0 || rng.gen_bool(self.join_prob) {
             Event::Join {
                 cfg: NodeConfig::new(
                     sample::uniform_point(rng, &self.arena),
@@ -214,8 +216,9 @@ impl ChurnWorkload {
                 ),
             }
         } else {
+            let k = rng.gen_range(0..count);
             Event::Leave {
-                node: ids[rng.gen_range(0..ids.len())],
+                node: net.iter_nodes().nth(k).expect("k < node_count"),
             }
         }
     }
@@ -390,18 +393,21 @@ impl MixWorkload {
             self.join_prob,
             self.leave_prob
         );
-        let ids = net.node_ids();
+        let count = net.node_count();
         let u: f64 = rng.gen();
-        if ids.is_empty() || u < self.join_prob {
+        let pick = |net: &Network, k: usize| -> NodeId {
+            net.iter_nodes().nth(k).expect("k < node_count")
+        };
+        if count == 0 || u < self.join_prob {
             Event::Join {
                 cfg: NodeConfig::new(self.placement.sample(rng), self.ranges.sample(rng)),
             }
         } else if u < self.join_prob + self.leave_prob {
             Event::Leave {
-                node: ids[rng.gen_range(0..ids.len())],
+                node: pick(net, rng.gen_range(0..count)),
             }
         } else {
-            let node = ids[rng.gen_range(0..ids.len())];
+            let node = pick(net, rng.gen_range(0..count));
             let from = net.config(node).expect("listed node exists").pos;
             Event::Move {
                 node,

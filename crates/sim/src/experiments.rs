@@ -529,6 +529,7 @@ mod tests {
             runs: 3,
             seed: 42,
             workers: 2,
+            execution: crate::runner::Execution::Sequential,
         }
     }
 
@@ -559,6 +560,7 @@ mod tests {
             runs: 12,
             seed: 42,
             workers: 4,
+            execution: crate::runner::Execution::Sequential,
         };
         let figs = fig10_vs_n(&cfg, &[40, 80]);
         assert_eq!(figs.colors.rows.len(), 2);
@@ -589,6 +591,7 @@ mod tests {
                 runs: 3,
                 seed: 7,
                 workers: 1,
+                execution: crate::runner::Execution::Sequential,
             },
             &[15],
         );
@@ -597,6 +600,7 @@ mod tests {
                 runs: 3,
                 seed: 7,
                 workers: 8,
+                execution: crate::runner::Execution::Sequential,
             },
             &[15],
         );

@@ -13,6 +13,8 @@ use crate::experiments::{
     paper_fig10_avg_ranges, paper_fig10_ns, paper_fig11_factors, paper_fig12_maxdisps,
 };
 use crate::scenario::{Measure, PhaseSpec, ScenarioSpec, SweepAxis, TopologyFamily};
+use minim_core::StrategyKind;
+use minim_geom::Rect;
 use minim_net::workload::RangeDist;
 
 /// Fig 10(a–c): `n` nodes join consecutively; sweep `N`.
@@ -136,6 +138,31 @@ pub fn corridor_joins() -> ScenarioSpec {
         .sweep(SweepAxis::JoinCount(vec![40, 60, 80, 100]))
 }
 
+/// The large-N regime: a metropolis-scale arena (40× the paper's side
+/// length) dotted with dense, well-separated Poisson-clustered hot
+/// spots, and joins in the thousands. This is the workload the
+/// dense-slab storage and the sharded batch executor exist for — run
+/// it with `Execution::Batched { workers }` (`minim-lab run metropolis
+/// --batched 8`) and the independent hot spots execute concurrently
+/// within each replicate, bit-identically to sequential execution.
+///
+/// BBB is excluded: recoloring the entire network at every one of
+/// thousands of events is O(N²·deg) per replicate and adds nothing to
+/// the large-N comparison the distributed strategies are studied for.
+pub fn metropolis() -> ScenarioSpec {
+    ScenarioSpec::new("metropolis")
+        .summary("large-N metropolis: clustered Poisson joins in the thousands, sweep N")
+        .arena(Rect::new(0.0, 0.0, 4000.0, 4000.0))
+        .topology(TopologyFamily::Clustered {
+            clusters: 40,
+            spread: 25.0,
+        })
+        .strategies(vec![StrategyKind::Minim, StrategyKind::Cp])
+        .measured_phase(PhaseSpec::Join { count: 0 })
+        .sweep(SweepAxis::JoinCount(vec![1000, 2000, 4000]))
+        .runs(3)
+}
+
 /// Every named preset, with the paper's default sweep values.
 pub fn catalog() -> Vec<ScenarioSpec> {
     vec![
@@ -148,6 +175,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
         hetero_ranges(),
         clustered_churn(),
         corridor_joins(),
+        metropolis(),
     ]
 }
 

@@ -11,12 +11,14 @@
 //! the control arm: the `delta` bench in `crates/bench` measures the
 //! two against each other on the Fig 10 join sweep.
 
-use minim_core::RecodingStrategy;
+use crate::par::parallel_map;
+use minim_core::{commit_plan, BatchLocality, RecodingStrategy};
 use minim_graph::conflict;
-use minim_net::event::{apply_topology, Event};
+use minim_net::event::{apply_topology, apply_topology_delta, Event};
 use minim_net::workload::MovementWorkload;
-use minim_net::Network;
+use minim_net::{BatchPlan, Network};
 use rand::Rng;
+use std::sync::Mutex;
 
 /// Accumulated §5 metrics for one phase of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -87,6 +89,201 @@ pub fn run_events_validated(
                 }
             }
         }
+    }
+    PhaseMetrics {
+        recodings,
+        max_color: net.max_color_index(),
+        edge_churn,
+    }
+}
+
+/// How a scenario executes its per-replicate event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// One event at a time, in order — [`run_events`].
+    #[default]
+    Sequential,
+    /// Conflict-free waves with concurrent recode planning —
+    /// [`run_events_batched`] with the given worker count. Pinned
+    /// bit-identical to [`Execution::Sequential`]; worthwhile for
+    /// large-N single scenarios (the `metropolis` preset), where one
+    /// replicate is itself the bottleneck.
+    Batched {
+        /// Planning worker threads per replicate.
+        workers: usize,
+    },
+}
+
+/// What one shard's isolated execution reports back for the merge.
+struct ShardRun {
+    /// The shard's subnetwork after all of its events ran.
+    sub: Network,
+    /// Recodings performed across the shard's events.
+    recodings: usize,
+    /// Summed per-event edge churn.
+    edge_churn: usize,
+}
+
+/// Executes one shard's events end-to-end on its private subnetwork:
+/// topology (with pinned join ids), recode planning through the same
+/// `plan_batched` path the sequential handlers use, commit, and
+/// optional delta validation.
+fn run_shard(
+    strategy: &(dyn RecodingStrategy + Sync),
+    mut sub: Network,
+    events: &[Event],
+    shard: &[usize],
+    plan: &BatchPlan,
+    mode: ValidationMode,
+) -> ShardRun {
+    let mut recodings = 0usize;
+    let mut edge_churn = 0usize;
+    for &i in shard {
+        let (applied, delta) = apply_topology_delta(&mut sub, &events[i], plan.join_id(i));
+        let color_plan = strategy.plan_batched(&sub, &applied, &delta);
+        let outcome = commit_plan(&mut sub, &color_plan);
+        recodings += outcome.recodings();
+        edge_churn += delta.edge_churn();
+        if mode == ValidationMode::Delta {
+            let seeds = minim_core::validation_seeds(&delta, &outcome);
+            if let Err(v) = conflict::validate_delta(sub.graph(), sub.assignment(), &seeds) {
+                panic!("event {applied:?} left a CA1/CA2 violation: {v}");
+            }
+        }
+    }
+    ShardRun {
+        sub,
+        recodings,
+        edge_churn,
+    }
+}
+
+/// [`run_events`] with intra-scenario parallelism — the sharded batch
+/// executor. [`BatchPlan`] partitions `events` into spatially
+/// independent shards; each shard then executes **end-to-end**
+/// (topology, recode planning, commit, validation) on a private
+/// subnetwork holding exactly the nodes inside the shard's claimed
+/// region, with all shards running concurrently on `workers` threads.
+/// Afterwards the main network is brought up to date: the event
+/// topology is replayed in original order (cheap — `O(Δ)` per event)
+/// and each shard's final colors are copied back (shards write
+/// disjoint node sets, so the merge order is immaterial).
+///
+/// **Bit-identical to [`run_events_validated`]** for every strategy:
+/// the shard partition is conservative (everything a shard's events
+/// read or write lies inside its claimed region, and distinct shards'
+/// regions are disjoint), events keep their relative order within a
+/// shard, join ids are pre-assigned in sequential order, and the
+/// batchable strategies' sequential handlers run through the same
+/// `plan_batched` + `commit_plan` decomposition the shards use.
+/// Strategies that declare [`BatchLocality::Global`] (BBB,
+/// instrumentation wrappers), [`ValidationMode::Full`] runs, worker
+/// counts ≤ 1, and single-shard plans (spatially inseparable batches,
+/// e.g. global movement rounds) all fall back to the sequential path —
+/// correctness never depends on the caller picking the right mode.
+///
+/// # Panics
+/// Panics on the first event whose aftermath violates CA1/CA2 (when
+/// validating), like the sequential runner.
+pub fn run_events_batched(
+    strategy: &mut (dyn RecodingStrategy + Sync),
+    net: &mut Network,
+    events: &[Event],
+    mode: ValidationMode,
+    workers: usize,
+) -> PhaseMetrics {
+    if workers <= 1
+        || events.len() <= 1
+        || strategy.batch_locality() == BatchLocality::Global
+        || mode == ValidationMode::Full
+    {
+        return run_events_validated(strategy, net, events, mode);
+    }
+    let debug_timing = std::env::var_os("MINIM_BATCH_DEBUG").is_some();
+    let t0 = std::time::Instant::now();
+    let plan = BatchPlan::new(net, events);
+    if plan.shard_count() <= 1 {
+        return run_events_validated(strategy, net, events, mode);
+    }
+    let strategy: &(dyn RecodingStrategy + Sync) = strategy;
+    if debug_timing {
+        eprintln!("plan: {:?}", t0.elapsed());
+    }
+    let t0 = std::time::Instant::now();
+
+    // Populate each shard's subnetwork with the present nodes inside
+    // its claimed region (configuration + color). Everything a shard
+    // reads or writes lives there; nodes outside every claim are
+    // untouched by the whole batch.
+    let cell_hint = net.cell_size_hint();
+    let mut subs: Vec<Network> = (0..plan.shard_count())
+        .map(|_| {
+            let mut sub = Network::new(cell_hint);
+            for wall in net.obstacles() {
+                sub.add_obstacle(*wall);
+            }
+            sub
+        })
+        .collect();
+    for id in net.iter_nodes().collect::<Vec<_>>() {
+        let cfg = net.config(id).expect("listed node has a config");
+        if let Some(s) = plan.shard_of_point(&cfg.pos) {
+            subs[s].insert_node(id, cfg);
+            if let Some(c) = net.assignment().get(id) {
+                subs[s].set_color(id, c);
+            }
+        }
+    }
+
+    // Run every shard concurrently. Each job takes ownership of its
+    // subnetwork; the shared state (strategy, events, plan) is
+    // read-only.
+    let jobs: Vec<(usize, Mutex<Option<Network>>)> = subs
+        .drain(..)
+        .map(|sub| Mutex::new(Some(sub)))
+        .enumerate()
+        .collect();
+    if debug_timing {
+        eprintln!("extract: {:?}", t0.elapsed());
+    }
+    let t0 = std::time::Instant::now();
+    let results = parallel_map(&jobs, workers, |(s, slot)| {
+        let sub = slot
+            .lock()
+            .expect("subnet slot poisoned")
+            .take()
+            .expect("each shard job runs exactly once");
+        run_shard(strategy, sub, events, &plan.shards()[*s], &plan, mode)
+    });
+    if debug_timing {
+        eprintln!(
+            "shards: {:?} ({} shards, largest {} events)",
+            t0.elapsed(),
+            plan.shard_count(),
+            plan.max_shard_len()
+        );
+    }
+    let t0 = std::time::Instant::now();
+
+    // Merge: replay the topology on the main network in original event
+    // order (identical deltas — each shard's subgraph is faithful),
+    // then copy back each shard's colors. Shards write disjoint node
+    // sets; unrecoded nodes are rewritten with their existing color.
+    for (i, e) in events.iter().enumerate() {
+        apply_topology_delta(net, e, plan.join_id(i));
+    }
+    let mut recodings = 0usize;
+    let mut edge_churn = 0usize;
+    for r in &results {
+        recodings += r.recodings;
+        edge_churn += r.edge_churn;
+        for (n, c) in r.sub.assignment().iter() {
+            net.assignment_mut().set(n, c);
+        }
+    }
+
+    if debug_timing {
+        eprintln!("merge: {:?}", t0.elapsed());
     }
     PhaseMetrics {
         recodings,
@@ -226,6 +423,37 @@ mod tests {
         let events = JoinWorkload::paper(5).generate(&mut rng);
         let mut net = Network::new(25.0);
         run_events_validated(&mut Sloppy, &mut net, &events, ValidationMode::Delta);
+    }
+
+    #[test]
+    fn batched_matches_sequential_on_joins() {
+        for kind in StrategyKind::ALL {
+            let mut rng = StdRng::seed_from_u64(21);
+            let events = JoinWorkload::paper(60).generate(&mut rng);
+            let mut seq_net = Network::new(25.0);
+            let mut s = kind.build();
+            let seq = run_events(&mut *s, &mut seq_net, &events);
+            for workers in [1usize, 4, 8] {
+                let mut net = Network::new(25.0);
+                let mut s = kind.build();
+                let got =
+                    run_events_batched(&mut *s, &mut net, &events, ValidationMode::Off, workers);
+                assert_eq!(got, seq, "{kind:?} at {workers} workers");
+                assert_eq!(net.snapshot_assignment(), seq_net.snapshot_assignment());
+                assert_eq!(net.describe(), seq_net.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_validates_deltas_like_sequential() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let events = JoinWorkload::paper(40).generate(&mut rng);
+        let mut net = Network::new(25.0);
+        let mut s = Minim::default();
+        let m = run_events_batched(&mut s, &mut net, &events, ValidationMode::Delta, 4);
+        assert!(m.recodings >= 40);
+        assert!(net.validate().is_ok());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::json::{self, Json};
 use crate::metrics::{Stats, Table};
 use crate::par::{default_workers, parallel_map};
-use crate::runner::run_events;
+use crate::runner::{run_events, run_events_batched, Execution, ValidationMode};
 use minim_core::StrategyKind;
 use minim_geom::sample::child_seed;
 use minim_geom::{sample, Point, Rect, Segment};
@@ -47,6 +47,12 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Worker threads for the replicate fan-out.
     pub workers: usize,
+    /// How each replicate's event stream executes. [`Execution::Batched`]
+    /// parallelizes *within* one replicate (conflict-free event waves;
+    /// bit-identical results) — the right knob when replicates are few
+    /// and huge, as in the `metropolis` preset; the replicate fan-out
+    /// above stays governed by `workers` either way.
+    pub execution: Execution,
 }
 
 impl ExperimentConfig {
@@ -56,6 +62,7 @@ impl ExperimentConfig {
             runs: 100,
             seed: 0x2001_0113, // January 2001, the TR date
             workers: default_workers(),
+            execution: Execution::Sequential,
         }
     }
 
@@ -65,7 +72,14 @@ impl ExperimentConfig {
             runs: 8,
             seed: 0x2001_0113,
             workers: default_workers(),
+            execution: Execution::Sequential,
         }
+    }
+
+    /// This configuration with the given [`Execution`].
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
     }
 
     /// The replicate seed for `(point, rep)` — scheduling-independent,
@@ -286,7 +300,7 @@ impl SweepAxis {
 /// assert_eq!(spec, same);
 ///
 /// // …and runs deterministically.
-/// let cfg = ExperimentConfig { runs: 2, seed: 7, workers: 1 };
+/// let cfg = ExperimentConfig { runs: 2, seed: 7, ..ExperimentConfig::quick() };
 /// let result = Scenario::new(spec).unwrap().run(&cfg);
 /// assert_eq!(result.points.len(), 2);
 /// assert_eq!(result.strategies, vec!["Minim", "CP", "BBB"]);
@@ -413,6 +427,7 @@ impl ScenarioSpec {
             runs: self.runs,
             seed: self.seed,
             workers: default_workers(),
+            execution: Execution::Sequential,
         }
     }
 }
@@ -863,7 +878,7 @@ impl Scenario {
                 .map(|rep| cfg.replicate_seed(pi, rep))
                 .collect();
             let outcomes = parallel_map(&seeds, cfg.workers, |&seed| {
-                run_replicate(spec, plan, seed, per_round)
+                run_replicate(spec, plan, seed, per_round, cfg.execution)
             });
             let reports = outcomes[0].per_report_events.len();
             for r in 0..reports {
@@ -1077,6 +1092,21 @@ fn generate_phase(
     }
 }
 
+/// Runs one round of events under the configured [`Execution`].
+fn run_round(
+    execution: Execution,
+    s: &mut (dyn minim_core::RecodingStrategy + Sync),
+    net: &mut Network,
+    round: &[Event],
+) -> crate::runner::PhaseMetrics {
+    match execution {
+        Execution::Sequential => run_events(s, net, round),
+        Execution::Batched { workers } => {
+            run_events_batched(s, net, round, ValidationMode::Off, workers)
+        }
+    }
+}
+
 /// Runs one replicate of one sweep point: generate every phase on a
 /// ghost network (so all strategies replay identical randomness), then
 /// run the phases through each strategy with a fresh strategy instance
@@ -1086,6 +1116,7 @@ fn run_replicate(
     plan: &PointPlan,
     seed: u64,
     per_round: bool,
+    execution: Execution,
 ) -> ReplicateOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let cell = plan.ranges.upper_bound().max(1.0);
@@ -1135,7 +1166,7 @@ fn run_replicate(
             for phase in &base_events {
                 let mut s = kind.build();
                 for round in phase {
-                    run_events(&mut *s, &mut net, round);
+                    run_round(execution, &mut *s, &mut net, round);
                 }
             }
             let base_color = net.max_color_index() as f64;
@@ -1144,7 +1175,7 @@ fn run_replicate(
             for phase in &measured_events {
                 let mut s = kind.build();
                 for round in phase {
-                    let m = run_events(&mut *s, &mut net, round);
+                    let m = run_round(execution, &mut *s, &mut net, round);
                     cum_recodings += m.recodings as f64;
                     if per_round {
                         reports.push((
@@ -1621,6 +1652,7 @@ mod tests {
             runs: 3,
             seed: 42,
             workers: 2,
+            execution: Execution::Sequential,
         }
     }
 

@@ -56,7 +56,7 @@ fn main() {
     // One mobile drives across the network: RecodeOnMove solves a small
     // maximum-weight bipartite matching and changes as few codes as
     // possible.
-    let mover = net.node_ids()[0];
+    let mover = net.iter_nodes().next().expect("network is populated");
     let outcome = minim.on_move(&mut net, mover, Point::new(15.0, 4.0));
     println!(
         "move {mover}: {} recoded (minimal bound holds by Thm 4.4.4)",
@@ -66,7 +66,7 @@ fn main() {
 
     // A mobile boosts its transmit power: at most the booster itself is
     // recoded (Thm 4.2.3) — check against the instance lower bound.
-    let booster = net.node_ids()[2];
+    let booster = net.iter_nodes().nth(2).expect("network is populated");
     let before = net.clone();
     let outcome = minim.on_set_range(&mut net, booster, 20.0);
     let _ = before;
@@ -75,7 +75,7 @@ fn main() {
     print_state(&net, "power increase");
 
     // Leaving is free (Thm 4.3.3).
-    let leaver = net.node_ids()[1];
+    let leaver = net.iter_nodes().nth(1).expect("network is populated");
     let outcome = minim.on_leave(&mut net, leaver);
     assert_eq!(outcome.recodings(), 0);
     print_state(&net, "leave");

@@ -1,0 +1,266 @@
+//! Batched/sequential equivalence — the correctness contract of the
+//! sharded batch executor.
+//!
+//! `run_events_batched` must be **bit-identical** to `run_events` for
+//! every strategy, every preset-style workload, and every worker
+//! count: same final assignment, same topology, same `PhaseMetrics`
+//! (recodings, max color, edge churn). The suite pins this across
+//!
+//! * strategies × worker counts {1, 4, 8} × seeds on the metropolis
+//!   join regime (many independent shards — the parallel path),
+//! * mixed join/leave/move churn (ghost-position tracking in the
+//!   plan) and power-raise phases (the widest claim radius),
+//! * `ValidationMode::Delta` runs, and
+//! * the `Scenario`-level `Execution::Batched` knob (whole
+//!   `SweepResult` equality).
+//!
+//! A property test additionally pins the plan's partition soundness:
+//! events in **different** shards never touch a common node — the
+//! "disjoint neighborhoods commute" premise of the whole executor.
+
+use minim::core::StrategyKind;
+use minim::geom::{sample, Point, Rect};
+use minim::net::event::{apply_topology_delta, Event};
+use minim::net::workload::{MixWorkload, Placement, PowerRaiseWorkload, RangeDist};
+use minim::net::{BatchPlan, Network, NodeConfig};
+use minim::sim::runner::{run_events_batched, run_events_validated, ValidationMode};
+use minim::sim::scenario::Scenario;
+use minim::sim::{presets, Execution};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small metropolis: clustered joins over a large arena, so the
+/// plan actually fractures into many independent shards.
+fn metro_events(n: usize, seed: u64) -> Vec<Event> {
+    let arena = Rect::new(0.0, 0.0, 2000.0, 2000.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..12)
+        .map(|_| sample::uniform_point(&mut rng, &arena))
+        .collect();
+    let placement = Placement::Clustered {
+        centers,
+        spread: 20.0,
+        arena,
+    };
+    let ranges = RangeDist::paper();
+    (0..n)
+        .map(|_| Event::Join {
+            cfg: NodeConfig::new(placement.sample(&mut rng), ranges.sample(&mut rng)),
+        })
+        .collect()
+}
+
+/// Asserts sequential and batched execution agree bit for bit on
+/// `events`, for one strategy, across worker counts and modes.
+fn assert_equivalent(kind: StrategyKind, base: &Network, events: &[Event], label: &str) {
+    let mut seq_net = base.clone();
+    let mut s = kind.build();
+    let seq = run_events_validated(&mut *s, &mut seq_net, events, ValidationMode::Off);
+    for workers in [1usize, 4, 8] {
+        for mode in [ValidationMode::Off, ValidationMode::Delta] {
+            let mut net = base.clone();
+            let mut s = kind.build();
+            let got = run_events_batched(&mut *s, &mut net, events, mode, workers);
+            assert_eq!(got, seq, "{label}: {kind:?} workers={workers} {mode:?}");
+            assert_eq!(
+                net.snapshot_assignment(),
+                seq_net.snapshot_assignment(),
+                "{label}: {kind:?} workers={workers} {mode:?} assignment"
+            );
+            assert_eq!(
+                net.describe(),
+                seq_net.describe(),
+                "{label}: {kind:?} workers={workers} {mode:?} topology"
+            );
+            assert_eq!(net.graph().edge_count(), seq_net.graph().edge_count());
+        }
+    }
+}
+
+#[test]
+fn metropolis_joins_are_bit_identical_across_workers_and_seeds() {
+    for seed in [1u64, 2, 3] {
+        let events = metro_events(150, seed);
+        // The scenario must genuinely shard, or this test is vacuous.
+        let plan = BatchPlan::new(&Network::new(30.5), &events);
+        assert!(
+            plan.shard_count() >= 4,
+            "seed {seed}: expected a multi-shard plan, got {}",
+            plan.shard_count()
+        );
+        for kind in StrategyKind::ALL {
+            assert_equivalent(kind, &Network::new(30.5), &events, "metro joins");
+        }
+    }
+}
+
+#[test]
+fn mixed_churn_on_standing_network_is_bit_identical() {
+    for seed in [11u64, 12] {
+        // Build a standing clustered network, then churn it with
+        // interleaved joins, leaves, and moves.
+        let base_events = metro_events(120, seed);
+        let mut base = Network::new(30.5);
+        let mut s = StrategyKind::Minim.build();
+        run_events_validated(&mut *s, &mut base, &base_events, ValidationMode::Off);
+
+        let arena = Rect::new(0.0, 0.0, 2000.0, 2000.0);
+        let mix = MixWorkload {
+            steps: 80,
+            join_prob: 0.3,
+            leave_prob: 0.3,
+            maxdisp: 15.0,
+            placement: Placement::Uniform { arena },
+            ranges: RangeDist::paper(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+        let mut ghost = base.clone();
+        let events: Vec<Event> = (0..mix.steps)
+            .map(|_| {
+                let e = mix.next_event(&ghost, &mut rng);
+                minim::net::event::apply_topology(&mut ghost, &e);
+                e
+            })
+            .collect();
+        for kind in StrategyKind::ALL {
+            assert_equivalent(kind, &base, &events, "mixed churn");
+        }
+    }
+}
+
+#[test]
+fn power_raises_are_bit_identical() {
+    // Power raises have the widest claim radius (CP rewrites two-hop
+    // nodes); exercise them on a standing clustered network.
+    let base_events = metro_events(100, 31);
+    let mut base = Network::new(30.5);
+    let mut s = StrategyKind::Minim.build();
+    run_events_validated(&mut *s, &mut base, &base_events, ValidationMode::Off);
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let events = PowerRaiseWorkload::paper(2.0).generate(&base, &mut rng);
+    assert!(!events.is_empty());
+    for kind in StrategyKind::ALL {
+        assert_equivalent(kind, &base, &events, "power raises");
+    }
+}
+
+#[test]
+fn scenario_execution_knob_is_bit_identical() {
+    // Whole-pipeline equivalence: a shrunk metropolis sweep through
+    // Scenario::run under both execution modes.
+    let mut spec = presets::metropolis();
+    spec.sweep = minim::sim::SweepAxis::JoinCount(vec![60, 120]);
+    let scenario = Scenario::new(spec).expect("metropolis validates");
+    let mut cfg = scenario.spec().default_config();
+    cfg.runs = 2;
+    cfg.workers = 2;
+    let seq = scenario.run(&cfg);
+    for workers in [2usize, 8] {
+        let batched = scenario.run(&cfg.execution(Execution::Batched { workers }));
+        assert_eq!(seq, batched, "batched x{workers}");
+        assert_eq!(seq.to_csv(), batched.to_csv());
+    }
+}
+
+/// The affected nodes of one event, from its topology delta: every
+/// node incident to a changed edge plus the initiator, joined with
+/// the recode set the strategies may rewrite.
+fn affected_nodes(
+    net: &mut Network,
+    event: &Event,
+    join_id: Option<minim::graph::NodeId>,
+) -> Vec<minim::graph::NodeId> {
+    let (_, delta) = apply_topology_delta(net, event, join_id);
+    let mut v = delta.touched();
+    v.extend(delta.recode_set());
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+proptest! {
+    /// Partition soundness: events in different shards never share an
+    /// affected node, under random interleaved joins/leaves/moves/
+    /// range changes.
+    #[test]
+    fn shards_never_share_an_affected_node(
+        seed in 0u64..500,
+        n_events in 20usize..60,
+    ) {
+        let arena = Rect::new(0.0, 0.0, 600.0, 600.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random event stream against an evolving ghost network.
+        let mut ghost = Network::new(12.0);
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let count = ghost.node_count();
+            let roll: f64 = rng.gen();
+            let e = if count == 0 || roll < 0.5 {
+                Event::Join {
+                    cfg: NodeConfig::new(
+                        sample::uniform_point(&mut rng, &arena),
+                        rng.gen_range(4.0..12.0),
+                    ),
+                }
+            } else {
+                let k = rng.gen_range(0..count);
+                let node = ghost.iter_nodes().nth(k).expect("k < count");
+                if roll < 0.65 {
+                    Event::Leave { node }
+                } else if roll < 0.85 {
+                    let from = ghost.config(node).expect("present").pos;
+                    Event::Move {
+                        node,
+                        to: sample::random_move(&mut rng, from, 40.0, &arena),
+                    }
+                } else {
+                    let r = ghost.config(node).expect("present").range;
+                    let factor: f64 = rng.gen_range(0.5..2.0);
+                    Event::SetRange {
+                        node,
+                        range: (r * factor).min(12.0),
+                    }
+                }
+            };
+            minim::net::event::apply_topology(&mut ghost, &e);
+            events.push(e);
+        }
+
+        let base = Network::new(12.0);
+        let plan = BatchPlan::new(&base, &events);
+        // Replay sequentially, collecting each event's affected set,
+        // then check cross-shard disjointness.
+        let mut net = base.clone();
+        let mut shard_of_event = vec![usize::MAX; events.len()];
+        for (s, shard) in plan.shards().iter().enumerate() {
+            for &i in shard {
+                shard_of_event[i] = s;
+            }
+        }
+        prop_assert!(shard_of_event.iter().all(|&s| s != usize::MAX));
+        let mut touched_by_shard: Vec<Vec<minim::graph::NodeId>> =
+            vec![Vec::new(); plan.shard_count()];
+        for (i, e) in events.iter().enumerate() {
+            let affected = affected_nodes(&mut net, e, plan.join_id(i));
+            touched_by_shard[shard_of_event[i]].extend(affected);
+        }
+        for v in &mut touched_by_shard {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for a in 0..touched_by_shard.len() {
+            for b in (a + 1)..touched_by_shard.len() {
+                let overlap: Vec<_> = touched_by_shard[a]
+                    .iter()
+                    .filter(|n| touched_by_shard[b].binary_search(n).is_ok())
+                    .collect();
+                prop_assert!(
+                    overlap.is_empty(),
+                    "shards {a} and {b} share affected nodes {overlap:?}"
+                );
+            }
+        }
+    }
+}

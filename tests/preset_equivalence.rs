@@ -19,6 +19,7 @@ fn cfg() -> ExperimentConfig {
         runs: 6,
         seed: 0xC0FFEE,
         workers: 3,
+        ..ExperimentConfig::quick()
     }
 }
 

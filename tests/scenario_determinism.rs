@@ -15,6 +15,7 @@ fn run(spec: ScenarioSpec, workers: usize, seed: u64) -> SweepResult {
             runs: 4,
             seed,
             workers,
+            ..ExperimentConfig::quick()
         })
 }
 
