@@ -80,16 +80,32 @@ impl Cp {
         }
     }
 
-    /// The colors a reselecting node must avoid, as the plan currently
-    /// sees them (its own earlier writes included, via the view).
-    fn avoid_colors(&self, net: &Network, view: &ColorView<'_>, u: NodeId) -> Vec<Color> {
+    /// Fills `avoid` with the colors a reselecting node must avoid, as
+    /// the plan currently sees them (its own earlier writes included,
+    /// via the view). `partners` is conflict-set scratch; both buffers
+    /// are reused across the reselection loop, so the per-node heap
+    /// traffic of a CP plan is gone in the exact-constraints arm (the
+    /// default 2-hop arm still walks a BFS, which allocates its
+    /// frontier). The result is **sorted** and deduplicated.
+    fn avoid_colors_into(
+        &self,
+        net: &Network,
+        view: &ColorView<'_>,
+        u: NodeId,
+        partners: &mut Vec<NodeId>,
+        avoid: &mut Vec<Color>,
+    ) {
         if self.exact_constraints {
-            conflict::constraint_colors_with(net.graph(), view, u)
+            conflict::constraint_colors_into(net.graph(), view, u, partners, avoid);
         } else {
-            hops::within_hops(net.graph(), u, 2)
-                .into_iter()
-                .filter_map(|(v, _)| view.get(v))
-                .collect()
+            avoid.clear();
+            avoid.extend(
+                hops::within_hops(net.graph(), u, 2)
+                    .into_iter()
+                    .filter_map(|(v, _)| view.get(v)),
+            );
+            avoid.sort_unstable();
+            avoid.dedup();
         }
     }
 
@@ -113,9 +129,11 @@ impl Cp {
         // Highest identity selects first.
         to_recolor.sort_unstable_by(|a, b| b.cmp(a));
         let mut plan = Vec::with_capacity(to_recolor.len());
+        let mut partners: Vec<NodeId> = Vec::new();
+        let mut avoid: Vec<Color> = Vec::new();
         for &u in &to_recolor {
-            let avoid = self.avoid_colors(net, view, u);
-            let c = Color::lowest_excluding(avoid);
+            self.avoid_colors_into(net, view, u, &mut partners, &mut avoid);
+            let c = Color::lowest_excluding_sorted(&avoid);
             view.set(u, c);
             plan.push((u, c));
         }

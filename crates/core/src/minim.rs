@@ -110,14 +110,15 @@ impl Minim {
             let n_constraints = conflict::constraint_colors(net.graph(), assignment, n);
             match assignment.get(n) {
                 Some(c) => {
-                    if !n_constraints.contains(&c) {
+                    if n_constraints.binary_search(&c).is_err() {
                         // Nothing clashes: zero recodings.
                         return Vec::new();
                     }
                     // External clash: full matching below.
                 }
                 None => {
-                    return vec![(n, Color::lowest_excluding(n_constraints))];
+                    // `constraint_colors` returns sorted + deduplicated.
+                    return vec![(n, Color::lowest_excluding_sorted(&n_constraints))];
                 }
             }
         }
@@ -158,10 +159,11 @@ impl Minim {
                     None => true,
                 };
                 if clash {
-                    // Repick against the full (old ∪ new) constraints.
+                    // Repick against the full (old ∪ new) constraints
+                    // (sorted + deduplicated by `constraint_colors`).
                     let constraints =
                         conflict::constraint_colors(net.graph(), net.assignment(), id);
-                    vec![(id, Color::lowest_excluding(constraints))]
+                    vec![(id, Color::lowest_excluding_sorted(&constraints))]
                 } else {
                     Vec::new()
                 }
@@ -182,12 +184,17 @@ impl Minim {
 pub fn gather_recode_inputs(net: &Network, set: &[NodeId]) -> (Vec<Option<Color>>, Vec<Vec<u32>>) {
     let mut old = Vec::with_capacity(set.len());
     let mut forbidden = Vec::with_capacity(set.len());
+    // One conflict-partner buffer reused across the whole set — the
+    // per-member set+Vec allocations of `conflicts_of` were the
+    // dominant heap traffic of a recode plan.
+    let mut partners: Vec<NodeId> = Vec::new();
     for &u in set {
         old.push(net.assignment().get(u));
-        let mut ext: Vec<u32> = conflict::conflicts_of(net.graph(), u)
-            .into_iter()
+        conflict::conflicts_of_into(net.graph(), u, &mut partners);
+        let mut ext: Vec<u32> = partners
+            .iter()
             .filter(|p| set.binary_search(p).is_err())
-            .filter_map(|p| net.assignment().get(p))
+            .filter_map(|&p| net.assignment().get(p))
             .map(|c| c.index())
             .collect();
         ext.sort_unstable();

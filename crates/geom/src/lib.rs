@@ -17,6 +17,13 @@
 //!   "which points lie within distance `r` of `p`?" in expected `O(1)`
 //!   per reported neighbor, which keeps incremental digraph maintenance
 //!   in `minim-net` near-linear for the paper's workloads.
+//! * [`strata::StratifiedGrid`] — the range-stratified index over the
+//!   flat grid: nodes bucketed into geometric range tiers so the
+//!   *reverse-reach* query ("who can reach `p`?") scans each tier at
+//!   its own range cap instead of the global maximum, and the range
+//!   bound tightens when long-range nodes shrink or leave.
+//! * [`segindex::SegmentGrid`] — a cell index over obstacle walls so
+//!   line-of-sight tests probe only nearby walls instead of every wall.
 //!
 //! Everything is `f64`-based; the simulation never needs exotic robust
 //! predicates because ranges and coordinates are drawn from continuous
@@ -25,10 +32,14 @@
 
 pub mod grid;
 pub mod sample;
+pub mod segindex;
 pub mod segment;
+pub mod strata;
 
 pub use grid::SpatialGrid;
+pub use segindex::SegmentGrid;
 pub use segment::Segment;
+pub use strata::StratifiedGrid;
 
 /// A point (node position) in the 2-D plane.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

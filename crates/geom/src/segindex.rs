@@ -1,0 +1,323 @@
+//! Uniform-grid index over obstacle segments.
+//!
+//! `minim-net` tests every candidate link against every installed wall
+//! (`line_of_sight_blocked` is a linear scan), which makes each grid
+//! candidate on the rewire path pay `O(#obstacles)` — quadratic-ish on
+//! the corridor presets, where walls are many and sight lines short.
+//! [`SegmentGrid`] rasterizes each wall into the cells it touches
+//! (a conservative supercover), so a sight-line query probes only the
+//! walls sharing a cell with the query segment.
+//!
+//! **Exactness.** If a wall and a sight line intersect at point `P`,
+//! then `P` lies on both segments, so the cell containing `P` is in
+//! both supercovers (each inflated by a small pad that absorbs the
+//! `EPS`-slop of [`Segment::intersects`]). The query therefore never
+//! misses a blocking wall, and every candidate is confirmed with the
+//! exact predicate — the index changes cost, never answers.
+//!
+//! Degenerate scales (a wall thousands of cells long, a query from a
+//! clamped far-out coordinate) fall back to a broad list / linear scan
+//! once a segment's supercover exceeds a cell cap, so pathological
+//! inputs degrade to the old behavior instead of walking unbounded
+//! cell ranges.
+
+use crate::grid::cell_coord;
+use crate::segment::{line_of_sight_blocked, Segment};
+use crate::Point;
+use std::collections::HashMap;
+
+/// Pad (in coordinate units) applied when rasterizing, absorbing the
+/// `1e-12` epsilon slop of the exact intersection predicate.
+const RASTER_PAD: f64 = 1e-9;
+
+/// A segment whose supercover would exceed this many cells is kept on
+/// the broad (always-checked) list instead; a query whose supercover
+/// exceeds it falls back to scanning every wall.
+const RASTER_CELL_CAP: usize = 4096;
+
+/// Below this many walls a linear scan beats the grid probe; queries
+/// short-circuit to it.
+const LINEAR_SCAN_CUTOFF: usize = 4;
+
+/// A uniform-grid spatial index over opaque wall [`Segment`]s,
+/// answering "does any wall block this sight line?" by probing only
+/// nearby walls.
+#[derive(Debug, Clone)]
+pub struct SegmentGrid {
+    cell: f64,
+    walls: Vec<Segment>,
+    /// Cell → indices into `walls` whose supercover touches the cell.
+    cells: HashMap<(i32, i32), Vec<u32>>,
+    /// Walls too long to rasterize under the cap; checked on every
+    /// query.
+    broad: Vec<u32>,
+}
+
+impl SegmentGrid {
+    /// Creates an empty index. `cell_size` should be on the order of
+    /// the typical sight-line length (`minim-net` uses its spatial
+    /// cell hint).
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        SegmentGrid {
+            cell: cell_size,
+            walls: Vec::new(),
+            cells: HashMap::new(),
+            broad: Vec::new(),
+        }
+    }
+
+    /// Number of indexed walls.
+    pub fn len(&self) -> usize {
+        self.walls.len()
+    }
+
+    /// Whether no walls are installed.
+    pub fn is_empty(&self) -> bool {
+        self.walls.is_empty()
+    }
+
+    /// The installed walls, in insertion order.
+    pub fn walls(&self) -> &[Segment] {
+        &self.walls
+    }
+
+    /// Installs a wall.
+    pub fn insert(&mut self, wall: Segment) {
+        let idx = self.walls.len() as u32;
+        self.walls.push(wall);
+        let cell = self.cell;
+        let mut count = 0usize;
+        let fits = for_each_supercover_cell(&wall, cell, |_| {
+            count += 1;
+            count <= RASTER_CELL_CAP
+        });
+        if !fits {
+            self.broad.push(idx);
+            return;
+        }
+        for_each_supercover_cell(&wall, cell, |c| {
+            self.cells.entry(c).or_default().push(idx);
+            true
+        });
+    }
+
+    /// Whether the sight line `from → to` is blocked by any wall —
+    /// exactly [`line_of_sight_blocked`] over [`SegmentGrid::walls`],
+    /// but probing only walls near the sight line. Allocation-free.
+    pub fn blocked(&self, from: &Point, to: &Point) -> bool {
+        if self.walls.len() <= LINEAR_SCAN_CUTOFF {
+            return line_of_sight_blocked(&self.walls, from, to);
+        }
+        for &i in &self.broad {
+            if self.walls[i as usize].blocks(from, to) {
+                return true;
+            }
+        }
+        let sight = Segment::new(*from, *to);
+        let mut hit = false;
+        let mut probes = 0usize;
+        let fits = for_each_supercover_cell(&sight, self.cell, |c| {
+            probes += 1;
+            if probes > RASTER_CELL_CAP {
+                return false;
+            }
+            if let Some(ids) = self.cells.get(&c) {
+                // A wall spanning several shared cells is tested more
+                // than once; the test is cheap and the early-out on a
+                // hit keeps the common (blocked) case fast. No
+                // allocation is worth a dedup set here.
+                if ids.iter().any(|&i| self.walls[i as usize].blocks(from, to)) {
+                    hit = true;
+                    return false;
+                }
+            }
+            true
+        });
+        if !fits && !hit {
+            // Query supercover over the cap (far-out clamped query):
+            // degrade to the exact linear scan.
+            return line_of_sight_blocked(&self.walls, from, to);
+        }
+        hit
+    }
+}
+
+/// Visits every grid cell the segment's (padded) supercover touches by
+/// sweeping cell columns and covering the segment's y-extent within
+/// each. Returns early (and reports `false`) when `f` returns `false`;
+/// returns `true` when the sweep completed.
+fn for_each_supercover_cell(
+    seg: &Segment,
+    cell: f64,
+    mut f: impl FnMut((i32, i32)) -> bool,
+) -> bool {
+    let (ax, ay) = (seg.a.x, seg.a.y);
+    let (bx, by) = (seg.b.x, seg.b.y);
+    let min_x = ax.min(bx) - RASTER_PAD;
+    let max_x = ax.max(bx) + RASTER_PAD;
+    let cx0 = cell_coord(min_x, cell);
+    let cx1 = cell_coord(max_x, cell);
+    let dx = bx - ax;
+    let dy = by - ay;
+    for cx in cx0..=cx1 {
+        // The segment's y-extent over this column, padded. For a
+        // (near-)vertical segment the full y-extent applies.
+        let (mut y_lo, mut y_hi) = if dx.abs() <= RASTER_PAD {
+            (ay.min(by), ay.max(by))
+        } else {
+            let col_lo = (cx as f64 * cell).max(min_x);
+            let col_hi = ((cx + 1) as f64 * cell).min(max_x);
+            let t0 = ((col_lo - ax) / dx).clamp(0.0, 1.0);
+            let t1 = ((col_hi - ax) / dx).clamp(0.0, 1.0);
+            let y0 = ay + t0 * dy;
+            let y1 = ay + t1 * dy;
+            (y0.min(y1), y0.max(y1))
+        };
+        y_lo -= RASTER_PAD;
+        y_hi += RASTER_PAD;
+        for cy in cell_coord(y_lo, cell)..=cell_coord(y_hi, cell) {
+            if !f((cx, cy)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    fn grid_with(cell: f64, walls: &[Segment]) -> SegmentGrid {
+        let mut g = SegmentGrid::new(cell);
+        for &w in walls {
+            g.insert(w);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_grid_blocks_nothing() {
+        let g = SegmentGrid::new(5.0);
+        assert!(g.is_empty());
+        assert!(!g.blocked(&Point::new(0.0, 0.0), &Point::new(100.0, 100.0)));
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_on_a_corridor() {
+        // Corridor walls: enough of them to clear the linear cutoff.
+        let walls: Vec<Segment> = (0..12)
+            .map(|i| {
+                let x = 10.0 * i as f64;
+                seg(x, 0.0, x, 40.0)
+            })
+            .collect();
+        let g = grid_with(7.0, &walls);
+        assert_eq!(g.len(), 12);
+        for (fx, fy, tx, ty) in [
+            (1.0, 5.0, 25.0, 5.0),    // crosses walls at x=10, 20
+            (11.0, 5.0, 18.0, 35.0),  // inside one corridor cell: clear
+            (1.0, 50.0, 120.0, 50.0), // above every wall: clear
+            (55.0, -5.0, 55.0, 45.0), // parallel between walls: clear
+            (49.9, 10.0, 50.1, 10.0), // pierces the x=50 wall
+        ] {
+            let from = Point::new(fx, fy);
+            let to = Point::new(tx, ty);
+            assert_eq!(
+                g.blocked(&from, &to),
+                line_of_sight_blocked(&walls, &from, &to),
+                "sight ({fx},{fy})→({tx},{ty})"
+            );
+        }
+    }
+
+    #[test]
+    fn very_long_wall_goes_broad_and_still_blocks() {
+        let mut walls: Vec<Segment> = (0..8).map(|i| seg(i as f64, 0.0, i as f64, 1.0)).collect();
+        // A wall ~2M cells long at cell 1.0 — exceeds the raster cap.
+        walls.push(seg(-1e6, 10.0, 1e6, 10.0));
+        let g = grid_with(1.0, &walls);
+        assert!(g.blocked(&Point::new(0.5, 5.0), &Point::new(0.5, 15.0)));
+        assert!(!g.blocked(&Point::new(100.0, 5.0), &Point::new(200.0, 5.0)));
+    }
+
+    #[test]
+    fn far_out_query_falls_back_to_linear() {
+        let walls: Vec<Segment> = (0..8).map(|i| seg(i as f64, 0.0, i as f64, 9.0)).collect();
+        let g = grid_with(1.0, &walls);
+        // A sight line millions of cells long: must degrade, not hang,
+        // and stay exact.
+        let from = Point::new(-1e7, 4.0);
+        let to = Point::new(1e7, 4.0);
+        assert_eq!(
+            g.blocked(&from, &to),
+            line_of_sight_blocked(&walls, &from, &to)
+        );
+    }
+
+    proptest! {
+        /// The grid answer equals the linear scan for random wall sets
+        /// and random sight lines — including collinear/endpoint-touch
+        /// cases the exact predicate treats as blocked.
+        #[test]
+        fn matches_linear_scan(
+            walls in proptest::collection::vec(
+                (-50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64),
+                0..14,
+            ),
+            fx in -60.0..60.0f64, fy in -60.0..60.0f64,
+            tx in -60.0..60.0f64, ty in -60.0..60.0f64,
+            cell in 0.5..30.0f64,
+        ) {
+            let walls: Vec<Segment> = walls
+                .into_iter()
+                .map(|(ax, ay, bx, by)| seg(ax, ay, bx, by))
+                .collect();
+            let g = grid_with(cell, &walls);
+            let from = Point::new(fx, fy);
+            let to = Point::new(tx, ty);
+            prop_assert_eq!(
+                g.blocked(&from, &to),
+                line_of_sight_blocked(&walls, &from, &to)
+            );
+        }
+
+        /// Integer-ish geometry (walls and sights on a lattice) hits
+        /// the exact boundary cases — shared endpoints, collinear
+        /// overlap, cell-boundary alignment — where the pad must keep
+        /// the index conservative.
+        #[test]
+        fn matches_linear_scan_on_lattice(
+            walls in proptest::collection::vec(
+                (-6i32..6, -6i32..6, -6i32..6, -6i32..6), 0..12),
+            f in (-8i32..8, -8i32..8),
+            t in (-8i32..8, -8i32..8),
+        ) {
+            let walls: Vec<Segment> = walls
+                .into_iter()
+                .map(|(ax, ay, bx, by)| {
+                    seg(ax as f64, ay as f64, bx as f64, by as f64)
+                })
+                .collect();
+            let g = grid_with(2.0, &walls);
+            let from = Point::new(f.0 as f64, f.1 as f64);
+            let to = Point::new(t.0 as f64, t.1 as f64);
+            prop_assert_eq!(
+                g.blocked(&from, &to),
+                line_of_sight_blocked(&walls, &from, &to)
+            );
+        }
+    }
+}

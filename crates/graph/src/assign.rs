@@ -69,6 +69,31 @@ impl Color {
         }
         Color(candidate)
     }
+
+    /// [`Color::lowest_excluding`] over an already **sorted** slice —
+    /// allocation-free, for hot loops whose avoid-lists come out of
+    /// the buffered constraint helpers (which sort them anyway).
+    /// Duplicates are tolerated.
+    ///
+    /// ```
+    /// use minim_graph::Color;
+    /// let used = [Color::new(1), Color::new(2), Color::new(5)];
+    /// assert_eq!(Color::lowest_excluding_sorted(&used), Color::new(3));
+    /// assert_eq!(Color::lowest_excluding_sorted(&[]), Color::new(1));
+    /// ```
+    pub fn lowest_excluding_sorted(used: &[Color]) -> Color {
+        debug_assert!(used.windows(2).all(|w| w[0] <= w[1]), "must be sorted");
+        let mut candidate = 1u32;
+        for c in used {
+            if c.0 > candidate {
+                break;
+            }
+            if c.0 == candidate {
+                candidate += 1;
+            }
+        }
+        Color(candidate)
+    }
 }
 
 impl fmt::Display for Color {

@@ -54,13 +54,13 @@ pub fn connected_components(g: &DiGraph) -> Components {
         membership.insert(start, idx);
         let mut queue = std::collections::VecDeque::from([start]);
         while let Some(u) = queue.pop_front() {
-            for v in g.undirected_neighbors(u) {
+            g.for_each_undirected_neighbor(u, |v| {
                 if let std::collections::hash_map::Entry::Vacant(e) = membership.entry(v) {
                     e.insert(idx);
                     group.push(v);
                     queue.push_back(v);
                 }
-            }
+            });
         }
         group.sort_unstable();
         groups.push(group);

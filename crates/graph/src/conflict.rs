@@ -17,7 +17,6 @@
 use crate::assign::{Assignment, Color, ColorRead};
 use crate::digraph::{DiGraph, NodeId};
 use crate::ugraph::UGraph;
-use std::collections::HashSet;
 
 /// A violation of the TOCA conditions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -217,19 +216,34 @@ pub fn violations(g: &DiGraph, a: &Assignment) -> Vec<Violation> {
 
 /// The conflict partners of `u`: every node that must differ in color
 /// from `u` under CA1 or CA2, sorted, deduplicated, excluding `u`.
+///
+/// Allocates the result; per-event loops should prefer
+/// [`conflicts_of_into`], which reuses a caller-owned buffer.
 pub fn conflicts_of(g: &DiGraph, u: NodeId) -> Vec<NodeId> {
-    let mut set: HashSet<NodeId> = HashSet::new();
+    let mut v = Vec::new();
+    conflicts_of_into(g, u, &mut v);
+    v
+}
+
+/// [`conflicts_of`] into a reusable buffer: `out` is cleared and
+/// filled with `u`'s conflict partners, sorted, deduplicated,
+/// excluding `u`. No other allocation happens once `out`'s capacity
+/// has warmed up — this is the validation/recode hot path (one call
+/// per recode-set member per event).
+pub fn conflicts_of_into(g: &DiGraph, u: NodeId, out: &mut Vec<NodeId>) {
+    out.clear();
     // CA1 partners: both edge directions.
-    set.extend(g.out_neighbors(u).iter().copied());
-    set.extend(g.in_neighbors(u).iter().copied());
+    out.extend_from_slice(g.out_neighbors(u));
+    out.extend_from_slice(g.in_neighbors(u));
     // CA2 partners: other transmitters into u's receivers.
     for &w in g.out_neighbors(u) {
-        set.extend(g.in_neighbors(w).iter().copied());
+        out.extend_from_slice(g.in_neighbors(w));
     }
-    set.remove(&u);
-    let mut v: Vec<NodeId> = set.into_iter().collect();
-    v.sort_unstable();
-    v
+    out.sort_unstable();
+    out.dedup();
+    if let Ok(i) = out.binary_search(&u) {
+        out.remove(i);
+    }
 }
 
 /// The colors `u` is forbidden to take — the paper's *constraints* of
@@ -243,13 +257,30 @@ pub fn constraint_colors(g: &DiGraph, a: &Assignment, u: NodeId) -> Vec<Color> {
 /// batch-mode strategy planning, which reads colors through a
 /// [`crate::ColorView`] overlay instead of the committed assignment.
 pub fn constraint_colors_with<C: ColorRead>(g: &DiGraph, colors: &C, u: NodeId) -> Vec<Color> {
-    let mut v: Vec<Color> = conflicts_of(g, u)
-        .into_iter()
-        .filter_map(|p| colors.color(p))
-        .collect();
-    v.sort_unstable();
-    v.dedup();
-    v
+    let mut partners = Vec::new();
+    let mut out = Vec::new();
+    constraint_colors_into(g, colors, u, &mut partners, &mut out);
+    out
+}
+
+/// [`constraint_colors_with`] into reusable buffers: `partners` is
+/// scratch for the conflict set, `out` receives the sorted,
+/// deduplicated constraint colors. Both are cleared first; neither
+/// allocates once warm. Strategies call this once per reselecting
+/// node, so the buffered form removes two heap allocations per node
+/// from every recode plan.
+pub fn constraint_colors_into<C: ColorRead>(
+    g: &DiGraph,
+    colors: &C,
+    u: NodeId,
+    partners: &mut Vec<NodeId>,
+    out: &mut Vec<Color>,
+) {
+    conflicts_of_into(g, u, partners);
+    out.clear();
+    out.extend(partners.iter().filter_map(|&p| colors.color(p)));
+    out.sort_unstable();
+    out.dedup();
 }
 
 /// Whether assigning `candidate` to `u` would violate CA1/CA2 against

@@ -119,19 +119,15 @@ impl DiGraph {
 
     /// Removes node `n` and all incident edges. Returns `false` if the
     /// node was absent.
+    ///
+    /// The slot's adjacency capacity is retained: a node that leaves
+    /// and rejoins (or the churn workloads that do this constantly)
+    /// re-wires into the already-grown buffers instead of reallocating.
     pub fn remove_node(&mut self, n: NodeId) -> bool {
         if !self.contains(n) {
             return false;
         }
-        let out = std::mem::take(&mut self.slots[n.index()].out);
-        let inn = std::mem::take(&mut self.slots[n.index()].inn);
-        for &m in &out {
-            sorted_remove(&mut self.slots[m.index()].inn, n);
-        }
-        for &m in &inn {
-            sorted_remove(&mut self.slots[m.index()].out, n);
-        }
-        self.edge_count -= out.len() + inn.len();
+        self.detach_edges(n);
         self.slots[n.index()].present = false;
         self.node_count -= 1;
         true
@@ -231,10 +227,23 @@ impl DiGraph {
     ///
     /// Used when a node's configuration changes and its link set is
     /// recomputed from scratch (`minim-net` move / power-change).
+    /// Adjacency capacity is retained, so the recomputation re-fills
+    /// warm buffers — this keeps the steady-state rewire path
+    /// allocation-free.
     pub fn clear_node_edges(&mut self, n: NodeId) {
         assert!(self.contains(n), "clear_node_edges: missing node {n}");
-        let out = std::mem::take(&mut self.slots[n.index()].out);
-        let inn = std::mem::take(&mut self.slots[n.index()].inn);
+        self.detach_edges(n);
+    }
+
+    /// Shared edge-severing core of [`DiGraph::remove_node`] and
+    /// [`DiGraph::clear_node_edges`]: removes every edge incident to
+    /// `n` while keeping `n`'s (cleared) adjacency buffers and their
+    /// capacity in place. The lists are temporarily moved out to
+    /// satisfy the borrow checker and moved back cleared — no
+    /// allocation either way.
+    fn detach_edges(&mut self, n: NodeId) {
+        let mut out = std::mem::take(&mut self.slots[n.index()].out);
+        let mut inn = std::mem::take(&mut self.slots[n.index()].inn);
         for &m in &out {
             sorted_remove(&mut self.slots[m.index()].inn, n);
         }
@@ -242,36 +251,71 @@ impl DiGraph {
             sorted_remove(&mut self.slots[m.index()].out, n);
         }
         self.edge_count -= out.len() + inn.len();
+        out.clear();
+        inn.clear();
+        self.slots[n.index()].out = out;
+        self.slots[n.index()].inn = inn;
     }
 
     /// Neighbors of `n` in the underlying undirected graph
     /// (union of in- and out-neighbors), sorted, deduplicated.
+    ///
+    /// Allocates the result; hot loops (BFS traversals, degree sums)
+    /// should prefer [`DiGraph::for_each_undirected_neighbor`] or
+    /// [`DiGraph::undirected_degree`], which walk the same merge
+    /// without building a `Vec`.
     pub fn undirected_neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.out_degree(n) + self.in_degree(n));
+        self.for_each_undirected_neighbor(n, |m| v.push(m));
+        v
+    }
+
+    /// Calls `f` once for every undirected neighbor of `n`, in
+    /// ascending id order — the allocation-free form of
+    /// [`DiGraph::undirected_neighbors`].
+    ///
+    /// # Panics
+    /// Panics if `n` is absent.
+    #[inline]
+    pub fn for_each_undirected_neighbor(&self, n: NodeId, mut f: impl FnMut(NodeId)) {
         let out = self.out_neighbors(n);
         let inn = self.in_neighbors(n);
-        let mut v = Vec::with_capacity(out.len() + inn.len());
         // Merge two sorted lists, dropping duplicates.
         let (mut i, mut j) = (0, 0);
         while i < out.len() && j < inn.len() {
             match out[i].cmp(&inn[j]) {
                 std::cmp::Ordering::Less => {
-                    v.push(out[i]);
+                    f(out[i]);
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    v.push(inn[j]);
+                    f(inn[j]);
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    v.push(out[i]);
+                    f(out[i]);
                     i += 1;
                     j += 1;
                 }
             }
         }
-        v.extend_from_slice(&out[i..]);
-        v.extend_from_slice(&inn[j..]);
-        v
+        for &m in &out[i..] {
+            f(m);
+        }
+        for &m in &inn[j..] {
+            f(m);
+        }
+    }
+
+    /// The degree of `n` in the underlying undirected graph (distinct
+    /// union of in- and out-neighbors), without allocating.
+    ///
+    /// # Panics
+    /// Panics if `n` is absent.
+    pub fn undirected_degree(&self, n: NodeId) -> usize {
+        let mut d = 0;
+        self.for_each_undirected_neighbor(n, |_| d += 1);
+        d
     }
 
     /// Debug-only structural invariant check: adjacency symmetry

@@ -26,12 +26,12 @@ pub fn within_hops(g: &DiGraph, src: NodeId, k: usize) -> Vec<(NodeId, usize)> {
         if du == k {
             continue;
         }
-        for v in g.undirected_neighbors(u) {
+        g.for_each_undirected_neighbor(u, |v| {
             if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
                 e.insert(du + 1);
                 q.push_back(v);
             }
-        }
+        });
     }
     let mut out: Vec<(NodeId, usize)> = dist
         .into_iter()
@@ -57,14 +57,18 @@ pub fn hop_distance(g: &DiGraph, a: NodeId, b: NodeId) -> Option<usize> {
     q.push_back(a);
     while let Some(u) = q.pop_front() {
         let du = dist[&u];
-        for v in g.undirected_neighbors(u) {
+        let mut found = false;
+        g.for_each_undirected_neighbor(u, |v| {
             if v == b {
-                return Some(du + 1);
+                found = true;
             }
             if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
                 e.insert(du + 1);
                 q.push_back(v);
             }
+        });
+        if found {
+            return Some(du + 1);
         }
     }
     None

@@ -25,9 +25,12 @@
 //! # The conservative neighborhood
 //!
 //! Let `B` be an upper bound on every transmission range that can
-//! occur while the batch executes (the network's monotone
+//! occur while the batch executes (the network's tier-derived
 //! [`Network::range_bound`] joined with every range the events
-//! themselves introduce). Measured from the event's anchor
+//! themselves introduce — since the bound now *tightens* when
+//! long-range nodes shrink or leave, claim radii shrink with it and
+//! plans split into more, wider-spread shards). Measured from the
+//! event's anchor
 //! position(s), every strategy read or write stays within a bounded
 //! number of graph hops, each of length ≤ `B`:
 //!
@@ -108,10 +111,12 @@ impl BatchPlan {
     /// sequence would panic during execution anyway.
     pub fn new(net: &Network, events: &[Event]) -> BatchPlan {
         // The range bound every claim radius is derived from: the
-        // network's monotone bound joined with every range the events
+        // network's tier-derived bound (which covers every *present*
+        // range at plan time) joined with every range the events
         // introduce. Conservative by construction — a node not yet
-        // inserted cannot be anyone's neighbor, and a bound that is
-        // too large only merges shards.
+        // inserted cannot be anyone's neighbor, ranges can only change
+        // through the joined events, and a bound that is too large
+        // only merges shards.
         let mut bound = net.range_bound();
         for e in events {
             match e {

@@ -241,7 +241,25 @@ impl TopologyDelta {
     pub fn undirected_before(&self) -> Vec<NodeId> {
         merge_sorted_dedup(&self.out_before(), &self.in_before())
     }
+
+    /// Decomposes the delta into its four owned buffers
+    /// `(added, removed, out_after, in_after)`. This is the capacity-
+    /// recycling hook behind [`crate::Network::recycle_delta`]: an
+    /// event loop that is done with a delta hands the buffers back so
+    /// the next event's delta is built without heap allocation.
+    pub fn into_buffers(self) -> DeltaBuffers {
+        (self.added, self.removed, self.out_after, self.in_after)
+    }
 }
+
+/// The four owned buffers of a [`TopologyDelta`], in field order:
+/// `(added, removed, out_after, in_after)`.
+pub type DeltaBuffers = (
+    Vec<(NodeId, NodeId)>,
+    Vec<(NodeId, NodeId)>,
+    Vec<NodeId>,
+    Vec<NodeId>,
+);
 
 /// `after` minus `added_ids` plus `removed_ids`, sorted. (`added_ids`
 /// ⊆ `after`; `removed_ids` is disjoint from `after`.)

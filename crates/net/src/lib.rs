@@ -12,8 +12,11 @@
 //!
 //! * the node configurations ([`NodeConfig`]: position + range),
 //! * the induced [`DiGraph`], maintained incrementally through a
-//!   [`SpatialGrid`] so topology updates cost `O(affected neighborhood)`
-//!   rather than `O(n)`,
+//!   range-stratified [`StratifiedGrid`] so topology updates cost
+//!   `O(affected neighborhood)` rather than `O(n)` — and, crucially,
+//!   the *reverse-reach* part of that neighborhood ("who can hear the
+//!   initiator?") is scanned per range tier instead of at the global
+//!   maximum range,
 //! * the current code [`Assignment`].
 //!
 //! Every mutating operation ([`Network::insert_node`],
@@ -42,8 +45,7 @@ pub mod workload;
 
 pub use delta::{DeltaKind, TopologyDelta};
 
-use minim_geom::segment::line_of_sight_blocked;
-use minim_geom::{Point, Rect, Segment, SpatialGrid};
+use minim_geom::{Point, Rect, Segment, SegmentGrid, StratifiedGrid};
 use minim_graph::conflict;
 use minim_graph::{Assignment, Color, DiGraph, NodeId};
 
@@ -140,40 +142,118 @@ impl JoinPartitions {
 ///
 /// Hot-path state is stored in dense slabs indexed by [`NodeId`]
 /// (node configurations here, adjacency in [`DiGraph`], colors in
-/// [`Assignment`], positions in [`SpatialGrid`]) — ids are allocated
-/// densely from 0, so every per-node lookup is direct indexing.
+/// [`Assignment`], positions and ranges in [`StratifiedGrid`]) — ids
+/// are allocated densely from 0, so every per-node lookup is direct
+/// indexing.
 #[derive(Debug, Clone)]
 pub struct Network {
     graph: DiGraph,
     /// Dense slab aligned with the digraph's slots:
     /// `configs[id.index()]` is the node's radio configuration.
     configs: Vec<Option<NodeConfig>>,
-    grid: SpatialGrid,
+    /// Range-stratified spatial index: positions *and* ranges, so
+    /// reverse-reach queries scan each range tier at its own cap.
+    grid: StratifiedGrid,
     assignment: Assignment,
     next_id: u32,
-    /// Upper bound on every present node's range; used as the query
-    /// radius when looking for *in*-neighbors. Monotone (removals do
-    /// not shrink it) — conservative but correct.
-    max_range_bound: f64,
     /// Opaque walls for the §2 non-free-space generalization: a link
-    /// exists only when in range **and** unobstructed.
-    obstacles: Vec<Segment>,
+    /// exists only when in range **and** unobstructed. Indexed by a
+    /// cell grid so sight-line tests probe only nearby walls.
+    obstacles: SegmentGrid,
+    /// Reusable buffers for the rewire path — steady-state event
+    /// application performs zero heap allocations.
+    scratch: RewireScratch,
+}
+
+/// Reusable workspace threaded through [`Network`]'s mutators: the
+/// out/in candidate buffers of a rewire, plus pools of recycled delta
+/// buffers ([`Network::recycle_delta`] returns them). Pool sizes are
+/// capped so a burst of un-recycled deltas cannot pin memory.
+#[derive(Debug, Clone, Default)]
+struct RewireScratch {
+    old_out: Vec<NodeId>,
+    old_in: Vec<NodeId>,
+    out: Vec<NodeId>,
+    inn: Vec<NodeId>,
+    id_pool: Vec<Vec<NodeId>>,
+    edge_pool: Vec<EdgeList>,
+}
+
+/// Max recycled buffers kept per pool.
+const SCRATCH_POOL_CAP: usize = 16;
+
+impl RewireScratch {
+    fn take_id_buf(&mut self) -> Vec<NodeId> {
+        self.id_pool.pop().unwrap_or_default()
+    }
+
+    fn take_edge_buf(&mut self) -> EdgeList {
+        self.edge_pool.pop().unwrap_or_default()
+    }
+
+    fn give_id_buf(&mut self, mut v: Vec<NodeId>) {
+        if self.id_pool.len() < SCRATCH_POOL_CAP {
+            v.clear();
+            self.id_pool.push(v);
+        }
+    }
+
+    fn give_edge_buf(&mut self, mut v: EdgeList) {
+        if self.edge_pool.len() < SCRATCH_POOL_CAP {
+            v.clear();
+            self.edge_pool.push(v);
+        }
+    }
 }
 
 impl Network {
     /// Creates an empty network. `cell_size_hint` sizes the spatial
-    /// index; a good value is the typical transmission range (the
+    /// index's base tier and anchors the geometric range-tier
+    /// boundaries; a good value is the typical transmission range (the
     /// paper's experiments use ~25).
     pub fn new(cell_size_hint: f64) -> Self {
+        Network::with_grid(StratifiedGrid::new(cell_size_hint), cell_size_hint)
+    }
+
+    /// Creates an empty network whose spatial index is **flat** — one
+    /// tier, monotone range watermark — i.e. the pre-stratification
+    /// behavior, where a single long-range node permanently inflates
+    /// every reverse-reach scan. Exists for A/B benchmarking
+    /// (`crates/bench`'s `events` bench) and equivalence tests; the
+    /// two modes are bit-identical in results, only costs differ.
+    pub fn new_flat(cell_size_hint: f64) -> Self {
+        Network::with_grid(StratifiedGrid::new_flat(cell_size_hint), cell_size_hint)
+    }
+
+    fn with_grid(grid: StratifiedGrid, cell_size_hint: f64) -> Self {
         Network {
             graph: DiGraph::new(),
             configs: Vec::new(),
-            grid: SpatialGrid::new(cell_size_hint),
+            grid,
             assignment: Assignment::new(),
             next_id: 0,
-            max_range_bound: 0.0,
-            obstacles: Vec::new(),
+            obstacles: SegmentGrid::new(cell_size_hint),
+            scratch: RewireScratch::default(),
         }
+    }
+
+    /// An empty network with this network's spatial-index
+    /// configuration (cell hint, flat/stratified mode) and obstacles,
+    /// but no nodes. Shard execution builds its private subnetworks
+    /// with this so both arms of a flat-vs-stratified comparison keep
+    /// their index mode through batching.
+    pub fn fresh_like(&self) -> Network {
+        let hint = self.cell_size_hint();
+        let grid = if self.grid.is_flat() {
+            StratifiedGrid::new_flat(hint)
+        } else {
+            StratifiedGrid::new(hint)
+        };
+        let mut net = Network::with_grid(grid, hint);
+        for wall in self.obstacles.walls() {
+            net.obstacles.insert(*wall);
+        }
+        net
     }
 
     /// Adds an opaque wall (§2's non-free-space generalization) and
@@ -184,7 +264,7 @@ impl Network {
     /// changed (each edge appears in exactly one delta: the first
     /// rewire that severed it).
     pub fn add_obstacle(&mut self, wall: Segment) -> Vec<TopologyDelta> {
-        self.obstacles.push(wall);
+        self.obstacles.insert(wall);
         // Hold the ids across the rewires below (which mutate the
         // graph), so the allocation is necessary here.
         let ids: Vec<NodeId> = self.iter_nodes().collect();
@@ -200,12 +280,27 @@ impl Network {
 
     /// The installed obstacles.
     pub fn obstacles(&self) -> &[Segment] {
-        &self.obstacles
+        self.obstacles.walls()
     }
 
     /// Whether the sight line between two points crosses a wall.
+    /// Probes only the walls whose cells the sight line touches.
     pub fn line_blocked(&self, a: &Point, b: &Point) -> bool {
-        line_of_sight_blocked(&self.obstacles, a, b)
+        self.obstacles.blocked(a, b)
+    }
+
+    /// Hands a delta's buffers back for reuse. Event loops that are
+    /// done with a [`TopologyDelta`] (metrics read, validation run)
+    /// should recycle it: together with the internal scratch buffers
+    /// this makes steady-state event application allocation-free. Not
+    /// recycling is always safe — the pools are bounded and refill
+    /// lazily.
+    pub fn recycle_delta(&mut self, delta: TopologyDelta) {
+        let (added, removed, out_after, in_after) = delta.into_buffers();
+        self.scratch.give_edge_buf(added);
+        self.scratch.give_edge_buf(removed);
+        self.scratch.give_id_buf(out_after);
+        self.scratch.give_id_buf(in_after);
     }
 
     /// Allocates a fresh node id (strictly increasing; also the CP
@@ -224,18 +319,22 @@ impl Network {
         NodeId(self.next_id)
     }
 
-    /// The monotone upper bound on every present node's transmission
-    /// range (it never shrinks on removals — conservative but correct).
-    /// Used as the in-neighbor query radius and by batch planning to
-    /// size conservative event neighborhoods.
+    /// An upper bound on every present node's transmission range,
+    /// **derived from range-tier occupancy** (the scan radius of the
+    /// highest occupied tier; at most 2× the true maximum). Unlike the
+    /// old monotone watermark it *tightens* when long-range nodes
+    /// shrink or leave — so batch planning's conservative claim radii
+    /// shrink with it, widening the attainable shard parallelism. In a
+    /// [`Network::new_flat`] network this is the legacy monotone
+    /// watermark.
     pub fn range_bound(&self) -> f64 {
-        self.max_range_bound
+        self.grid.range_bound()
     }
 
     /// The spatial-index cell size this network was built with. Shard
     /// execution sizes its per-shard subnetworks with the same hint.
     pub fn cell_size_hint(&self) -> f64 {
-        self.grid.cell_size()
+        self.grid.base_cell()
     }
 
     /// The induced digraph.
@@ -318,8 +417,7 @@ impl Network {
         self.graph.insert_node(id);
         *self.config_slot(id) = Some(cfg);
         self.next_id = self.next_id.max(id.0 + 1);
-        self.max_range_bound = self.max_range_bound.max(cfg.range);
-        self.grid.insert(id.0, cfg.pos);
+        self.grid.insert(id.0, cfg.pos, cfg.range);
         self.rewire(id, DeltaKind::Insert)
     }
 
@@ -347,25 +445,17 @@ impl Network {
     /// Panics if `id` is absent.
     pub fn remove_node(&mut self, id: NodeId) -> TopologyDelta {
         assert!(self.graph.contains(id), "remove_node: missing {id}");
-        let mut removed: Vec<(NodeId, NodeId)> = self
-            .graph
-            .out_neighbors(id)
-            .iter()
-            .map(|&v| (id, v))
-            .collect();
+        let mut removed = self.scratch.take_edge_buf();
+        removed.extend(self.graph.out_neighbors(id).iter().map(|&v| (id, v)));
         removed.extend(self.graph.in_neighbors(id).iter().map(|&u| (u, id)));
         self.graph.remove_node(id);
         self.configs[id.index()] = None;
         self.grid.remove(id.0);
         self.assignment.unset(id);
-        TopologyDelta::new(
-            DeltaKind::Remove,
-            id,
-            Vec::new(),
-            removed,
-            Vec::new(),
-            Vec::new(),
-        )
+        let added = self.scratch.take_edge_buf();
+        let out_after = self.scratch.take_id_buf();
+        let in_after = self.scratch.take_id_buf();
+        TopologyDelta::new(DeltaKind::Remove, id, added, removed, out_after, in_after)
     }
 
     /// Moves node `id` to `to` and recomputes its incident edges. The
@@ -406,74 +496,119 @@ impl Network {
             .and_then(Option::as_mut)
             .expect("set_range: missing node");
         cfg.range = range;
-        self.max_range_bound = self.max_range_bound.max(range);
         let pos = cfg.pos;
-        // Recompute out-edges from scratch.
-        let old_out: Vec<NodeId> = self.graph.out_neighbors(id).to_vec();
-        for &v in &old_out {
-            self.graph.remove_edge(id, v);
+        // Migrates across range tiers when the range crosses a tier
+        // boundary — this is where the reverse-reach bound tightens on
+        // a power decrease.
+        self.grid.set_range(id.0, range);
+        let Network {
+            graph,
+            grid,
+            obstacles,
+            scratch,
+            ..
+        } = self;
+        // Recompute out-edges from scratch, on reusable buffers.
+        scratch.old_out.clear();
+        scratch.old_out.extend_from_slice(graph.out_neighbors(id));
+        for i in 0..scratch.old_out.len() {
+            graph.remove_edge(id, scratch.old_out[i]);
         }
-        let mut targets = Vec::new();
-        self.grid.for_each_within(&pos, range, |other, opos| {
-            if other != id.0 && !line_of_sight_blocked(&self.obstacles, &pos, &opos) {
+        scratch.out.clear();
+        let targets = &mut scratch.out;
+        grid.for_each_within(&pos, range, |other, opos| {
+            if other != id.0 && !obstacles.blocked(&pos, &opos) {
                 targets.push(NodeId(other));
             }
         });
-        for &v in &targets {
-            self.graph.add_edge(id, v);
+        for i in 0..scratch.out.len() {
+            graph.add_edge(id, scratch.out[i]);
         }
-        targets.sort_unstable();
-        let (added, removed) = diff_sorted_out(id, &old_out, &targets);
-        let in_after = self.graph.in_neighbors(id).to_vec();
-        TopologyDelta::new(DeltaKind::SetRange, id, added, removed, targets, in_after)
+        scratch.out.sort_unstable();
+        let mut added = scratch.take_edge_buf();
+        let mut removed = scratch.take_edge_buf();
+        diff_sorted(
+            &scratch.old_out,
+            &scratch.out,
+            |v| removed.push((id, v)),
+            |v| added.push((id, v)),
+        );
+        let mut out_after = scratch.take_id_buf();
+        out_after.extend_from_slice(&scratch.out);
+        let mut in_after = scratch.take_id_buf();
+        in_after.extend_from_slice(graph.in_neighbors(id));
+        TopologyDelta::new(DeltaKind::SetRange, id, added, removed, out_after, in_after)
     }
 
     /// Recomputes **all** edges incident to `id` (both directions) from
     /// the geometry, returning the exact edge delta. Used on insert,
     /// move, and obstacle installation.
+    ///
+    /// Runs entirely on the [`RewireScratch`] workspace: candidate
+    /// buffers are reused across events and the delta's owned lists
+    /// come from the recycle pools, so in steady state (with
+    /// [`Network::recycle_delta`] returning buffers) the whole path is
+    /// allocation-free.
     fn rewire(&mut self, id: NodeId, kind: DeltaKind) -> TopologyDelta {
         let cfg = self.config(id).expect("rewire: missing node");
-        let old_out: Vec<NodeId> = self.graph.out_neighbors(id).to_vec();
-        let old_in: Vec<NodeId> = self.graph.in_neighbors(id).to_vec();
-        self.graph.clear_node_edges(id);
+        let Network {
+            graph,
+            grid,
+            obstacles,
+            scratch,
+            ..
+        } = self;
+        scratch.old_out.clear();
+        scratch.old_out.extend_from_slice(graph.out_neighbors(id));
+        scratch.old_in.clear();
+        scratch.old_in.extend_from_slice(graph.in_neighbors(id));
+        graph.clear_node_edges(id);
         // Out-edges: nodes within our range and line of sight.
-        let mut out = Vec::new();
-        self.grid
-            .for_each_within(&cfg.pos, cfg.range, |other, opos| {
-                if other != id.0 && !line_of_sight_blocked(&self.obstacles, &cfg.pos, &opos) {
-                    out.push(NodeId(other));
-                }
-            });
-        for &v in &out {
-            self.graph.add_edge(id, v);
+        scratch.out.clear();
+        let out = &mut scratch.out;
+        grid.for_each_within(&cfg.pos, cfg.range, |other, opos| {
+            if other != id.0 && !obstacles.blocked(&cfg.pos, &opos) {
+                out.push(NodeId(other));
+            }
+        });
+        for i in 0..scratch.out.len() {
+            graph.add_edge(id, scratch.out[i]);
         }
-        // In-edges: nodes whose own range covers us. Query with the
-        // global range bound, filter by each candidate's actual range
-        // and line of sight.
-        let mut inn = Vec::new();
-        self.grid
-            .for_each_within(&cfg.pos, self.max_range_bound, |other, opos| {
-                if other == id.0 {
-                    return;
-                }
-                let u = NodeId(other);
-                let u_range = self.configs[u.index()].expect("indexed node").range;
-                if opos.within(&cfg.pos, u_range)
-                    && !line_of_sight_blocked(&self.obstacles, &opos, &cfg.pos)
-                {
-                    inn.push(u);
-                }
-            });
-        for &u in &inn {
-            self.graph.add_edge(u, id);
+        // In-edges: nodes whose own range covers us — the stratified
+        // reverse-reach query scans each occupied tier at that tier's
+        // range cap (instead of one scan at the global maximum), and
+        // already filters by each candidate's actual range.
+        scratch.inn.clear();
+        let inn = &mut scratch.inn;
+        grid.for_each_reaching(&cfg.pos, |other, opos, _| {
+            if other != id.0 && !obstacles.blocked(&opos, &cfg.pos) {
+                inn.push(NodeId(other));
+            }
+        });
+        for i in 0..scratch.inn.len() {
+            graph.add_edge(scratch.inn[i], id);
         }
-        out.sort_unstable();
-        inn.sort_unstable();
-        let (mut added, mut removed) = diff_sorted_out(id, &old_out, &out);
-        let (added_in, removed_in) = diff_sorted_in(id, &old_in, &inn);
-        added.extend(added_in);
-        removed.extend(removed_in);
-        TopologyDelta::new(kind, id, added, removed, out, inn)
+        scratch.out.sort_unstable();
+        scratch.inn.sort_unstable();
+        let mut added = scratch.take_edge_buf();
+        let mut removed = scratch.take_edge_buf();
+        diff_sorted(
+            &scratch.old_out,
+            &scratch.out,
+            |v| removed.push((id, v)),
+            |v| added.push((id, v)),
+        );
+        diff_sorted(
+            &scratch.old_in,
+            &scratch.inn,
+            |u| removed.push((u, id)),
+            |u| added.push((u, id)),
+        );
+        let mut out_after = scratch.take_id_buf();
+        out_after.extend_from_slice(&scratch.out);
+        let mut in_after = scratch.take_id_buf();
+        in_after.extend_from_slice(&scratch.inn);
+        TopologyDelta::new(kind, id, added, removed, out_after, in_after)
     }
 
     /// The Fig 2 partition of the existing nodes around `n`.
@@ -533,8 +668,8 @@ impl Network {
                     continue;
                 }
                 let cv = self.configs[v.index()].expect("present node");
-                let expect = cu.pos.within(&cv.pos, cu.range)
-                    && !line_of_sight_blocked(&self.obstacles, &cu.pos, &cv.pos);
+                let expect =
+                    cu.pos.within(&cv.pos, cu.range) && !self.line_blocked(&cu.pos, &cv.pos);
                 assert_eq!(
                     self.graph.has_edge(u, v),
                     expect,
@@ -566,22 +701,6 @@ impl Network {
 
 /// A list of directed edges, as a delta stores them.
 type EdgeList = Vec<(NodeId, NodeId)>;
-
-/// Diffs two sorted out-neighbor lists of `id` into added/removed
-/// directed edge sets (`id → v`).
-fn diff_sorted_out(id: NodeId, old: &[NodeId], new: &[NodeId]) -> (EdgeList, EdgeList) {
-    let (mut added, mut removed) = (Vec::new(), Vec::new());
-    diff_sorted(old, new, |v| removed.push((id, v)), |v| added.push((id, v)));
-    (added, removed)
-}
-
-/// Diffs two sorted in-neighbor lists of `id` into added/removed
-/// directed edge sets (`u → id`).
-fn diff_sorted_in(id: NodeId, old: &[NodeId], new: &[NodeId]) -> (EdgeList, EdgeList) {
-    let (mut added, mut removed) = (Vec::new(), Vec::new());
-    diff_sorted(old, new, |u| removed.push((u, id)), |u| added.push((u, id)));
-    (added, removed)
-}
 
 /// Single merge pass over two sorted id lists, calling `on_old_only`
 /// for ids that disappeared and `on_new_only` for ids that appeared.
@@ -946,6 +1065,111 @@ mod tests {
             net.join(NodeConfig::new(Point::new(i as f64 * 3.0, 0.0), 4.0));
         }
         assert_eq!(net.iter_nodes().collect::<Vec<_>>(), net.node_ids());
+    }
+
+    /// Regression for the watermark bug: `max_range_bound` never
+    /// shrank after `set_range` lowered a node's range or `remove_node`
+    /// deleted the longest-range node, so one lighthouse permanently
+    /// inflated every later reverse-reach scan (and every batch claim
+    /// radius). The bound is now derived from range-tier occupancy.
+    #[test]
+    fn range_bound_shrinks_when_lighthouse_leaves() {
+        let mut net = Network::new(25.0);
+        for i in 0..20 {
+            net.join(NodeConfig::new(Point::new(i as f64 * 7.0, 0.0), 20.0));
+        }
+        let small_bound = net.range_bound();
+        assert!(
+            small_bound <= 50.0,
+            "short-range tier cap, got {small_bound}"
+        );
+
+        // The lighthouse joins: the bound must cover it...
+        let lh = net.join(NodeConfig::new(Point::new(70.0, 50.0), 2000.0));
+        assert!(net.range_bound() >= 2000.0);
+        // ...and fall back once it leaves — joins get cheap again.
+        net.remove_node(lh);
+        assert_eq!(net.range_bound(), small_bound, "lighthouse left");
+
+        // Same via set_range: powering the lighthouse down re-tiers it.
+        let lh = net.join(NodeConfig::new(Point::new(70.0, 50.0), 2000.0));
+        assert!(net.range_bound() >= 2000.0);
+        net.set_range(lh, 10.0);
+        assert_eq!(net.range_bound(), small_bound, "lighthouse powered down");
+        net.check_topology();
+
+        // The flat arm reproduces the legacy monotone behavior.
+        let mut flat = Network::new_flat(25.0);
+        let lh = flat.join(NodeConfig::new(Point::new(0.0, 0.0), 2000.0));
+        flat.join(NodeConfig::new(Point::new(5.0, 0.0), 20.0));
+        flat.remove_node(lh);
+        assert!(flat.range_bound() >= 2000.0, "flat bound never shrinks");
+    }
+
+    #[test]
+    fn recycled_deltas_keep_results_identical() {
+        // Two identical event streams, one recycling deltas after each
+        // event: final networks (and each delta's contents) must match.
+        let mut a = Network::new(10.0);
+        let mut b = Network::new(10.0);
+        let cfgs = [
+            (Point::new(0.0, 0.0), 8.0),
+            (Point::new(5.0, 0.0), 8.0),
+            (Point::new(9.0, 3.0), 12.0),
+            (Point::new(2.0, 7.0), 6.0),
+        ];
+        for &(p, r) in &cfgs {
+            let da = a.insert_node(a.peek_next_id(), NodeConfig::new(p, r));
+            let db = b.insert_node(b.peek_next_id(), NodeConfig::new(p, r));
+            assert_eq!(da, db);
+            b.recycle_delta(db);
+        }
+        for _ in 0..3 {
+            let da = a.move_node(n(2), Point::new(1.0, 1.0));
+            let db = b.move_node(n(2), Point::new(1.0, 1.0));
+            assert_eq!(da, db);
+            b.recycle_delta(db);
+            let da = a.move_node(n(2), Point::new(9.0, 3.0));
+            let db = b.move_node(n(2), Point::new(9.0, 3.0));
+            assert_eq!(da, db);
+            b.recycle_delta(db);
+            let da = a.set_range(n(0), 15.0);
+            let db = b.set_range(n(0), 15.0);
+            assert_eq!(da, db);
+            b.recycle_delta(db);
+            let da = a.set_range(n(0), 8.0);
+            let db = b.set_range(n(0), 8.0);
+            assert_eq!(da, db);
+            b.recycle_delta(db);
+        }
+        let da = a.remove_node(n(1));
+        let db = b.remove_node(n(1));
+        assert_eq!(da, db);
+        b.recycle_delta(db);
+        assert_eq!(a.describe(), b.describe());
+        a.check_topology();
+        b.check_topology();
+    }
+
+    #[test]
+    fn flat_and_stratified_networks_agree_on_topology() {
+        let cfgs = [
+            (Point::new(0.0, 0.0), 6.0),
+            (Point::new(5.0, 0.0), 60.0),
+            (Point::new(10.0, 0.0), 6.0),
+            (Point::new(55.0, 0.0), 6.0),
+            (Point::new(30.0, 20.0), 200.0),
+        ];
+        let strat = network_from_configs(10.0, &cfgs);
+        let mut flat = Network::new_flat(10.0);
+        for &(pos, range) in &cfgs {
+            flat.join(NodeConfig::new(pos, range));
+        }
+        let ga: Vec<_> = strat.graph().edges().collect();
+        let gb: Vec<_> = flat.graph().edges().collect();
+        assert_eq!(ga, gb);
+        strat.check_topology();
+        flat.check_topology();
     }
 
     #[test]

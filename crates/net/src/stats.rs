@@ -46,10 +46,7 @@ pub fn network_stats(net: &Network) -> NetworkStats {
     let mean_degree = if n == 0 {
         0.0
     } else {
-        g.nodes()
-            .map(|v| g.undirected_neighbors(v).len())
-            .sum::<usize>() as f64
-            / n as f64
+        g.nodes().map(|v| g.undirected_degree(v)).sum::<usize>() as f64 / n as f64
     };
     let density = if n <= 1 {
         0.0

@@ -280,7 +280,7 @@ mod tests {
     fn distributed_leave_is_passive_and_local() {
         let (net0, _) = base_net(20, 51);
         let victim = net0.node_ids()[5];
-        let degree = net0.graph().undirected_neighbors(victim).len();
+        let degree = net0.graph().undirected_degree(victim);
         let mut net = net0.clone();
         let (out, metrics) = distributed_minim_leave(&mut net, victim);
         assert_eq!(out.recodings(), 0);

@@ -163,6 +163,30 @@ pub fn metropolis() -> ScenarioSpec {
         .runs(3)
 }
 
+/// The lighthouse micro-regime: an (almost entirely) short-range
+/// population with a ~0.1% long-range minority — in expectation one
+/// "lighthouse" per thousand joins. This is the worst case for a flat
+/// (watermark-bounded) reverse-reach index: a single long-range node
+/// used to inflate every later join's in-neighbor scan to the
+/// lighthouse's radius; the range-stratified index keeps the short
+/// tier's scans short. `crates/bench`'s `events` bench runs the same
+/// shape flat-vs-stratified and records the win in
+/// `BENCH_events.json`.
+pub fn lighthouse() -> ScenarioSpec {
+    ScenarioSpec::new("lighthouse")
+        .summary("one max-range lighthouse among thousands of short-range joins, sweep N")
+        .arena(Rect::new(0.0, 0.0, 4000.0, 4000.0))
+        .ranges(RangeDist::Heterogeneous {
+            short: (15.0, 25.0),
+            long: (1500.0, 2000.0),
+            long_fraction: 0.001,
+        })
+        .strategies(vec![StrategyKind::Minim, StrategyKind::Cp])
+        .measured_phase(PhaseSpec::Join { count: 0 })
+        .sweep(SweepAxis::JoinCount(vec![1000, 2000, 4000]))
+        .runs(3)
+}
+
 /// Every named preset, with the paper's default sweep values.
 pub fn catalog() -> Vec<ScenarioSpec> {
     vec![
@@ -176,6 +200,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
         clustered_churn(),
         corridor_joins(),
         metropolis(),
+        lighthouse(),
     ]
 }
 

@@ -215,16 +215,10 @@ pub fn run_events_batched(
     // its claimed region (configuration + color). Everything a shard
     // reads or writes lives there; nodes outside every claim are
     // untouched by the whole batch.
-    let cell_hint = net.cell_size_hint();
-    let mut subs: Vec<Network> = (0..plan.shard_count())
-        .map(|_| {
-            let mut sub = Network::new(cell_hint);
-            for wall in net.obstacles() {
-                sub.add_obstacle(*wall);
-            }
-            sub
-        })
-        .collect();
+    // `fresh_like` preserves the cell hint, the flat/stratified index
+    // mode, and the obstacle set, so shards execute with the same
+    // index behavior as the parent network.
+    let mut subs: Vec<Network> = (0..plan.shard_count()).map(|_| net.fresh_like()).collect();
     for id in net.iter_nodes().collect::<Vec<_>>() {
         let cfg = net.config(id).expect("listed node has a config");
         if let Some(s) = plan.shard_of_point(&cfg.pos) {

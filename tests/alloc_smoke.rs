@@ -1,0 +1,114 @@
+//! Allocation-count smoke check for the rewire path.
+//!
+//! PR 4's contract: once warm, the event path — `move_node`,
+//! `set_range`, `remove_node` + re-insert, with deltas handed back via
+//! `Network::recycle_delta` — performs **zero heap allocations**. The
+//! internal `RewireScratch` buffers, the recycled delta buffers, the
+//! capacity-retaining `DiGraph` adjacency slots, and the stratified
+//! grid's slab storage together make every steady-state event a pure
+//! pointer-chasing affair.
+//!
+//! The check uses a counting global allocator (this integration test
+//! is its own binary, so the allocator sees only this file's tests;
+//! keep it to ONE `#[test]` so no concurrent test thread can bleed
+//! allocations into the measurement window).
+
+use minim_geom::{Point, Segment};
+use minim_graph::NodeId;
+use minim_net::{Network, NodeConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// One steady-state event cycle: a mover oscillating across cells (its
+/// neighborhood genuinely changes), a power cycler crossing a range
+/// tier boundary, and a churner leaving and rejoining at its old id.
+/// Every delta is recycled, returning its buffers to the pools.
+fn cycle(net: &mut Network, mover: NodeId, cycler: NodeId, churner: NodeId, churn_cfg: NodeConfig) {
+    let d = net.move_node(mover, Point::new(62.0, 10.0));
+    net.recycle_delta(d);
+    let d = net.move_node(mover, Point::new(10.0, 10.0));
+    net.recycle_delta(d);
+    let d = net.set_range(cycler, 55.0);
+    net.recycle_delta(d);
+    let d = net.set_range(cycler, 20.0);
+    net.recycle_delta(d);
+    let d = net.remove_node(churner);
+    net.recycle_delta(d);
+    let d = net.insert_node(churner, churn_cfg);
+    net.recycle_delta(d);
+}
+
+#[test]
+fn steady_state_rewire_allocates_nothing() {
+    // A dense-ish arena with obstacles, so the rewire path exercises
+    // the stratified index, the segment grid, and real edge churn.
+    let mut net = Network::new(25.0);
+    for i in 0..60u32 {
+        let x = (i % 10) as f64 * 9.0;
+        let y = (i / 10) as f64 * 9.0;
+        net.join(NodeConfig::new(Point::new(x, y), 20.0));
+    }
+    // A lighthouse, so more than one tier is occupied.
+    net.join(NodeConfig::new(Point::new(45.0, 30.0), 300.0));
+    // Enough walls to engage the segment grid (not the linear cutoff).
+    for k in 0..6 {
+        let x = 4.5 + 18.0 * k as f64;
+        net.add_obstacle(Segment::new(Point::new(x, -5.0), Point::new(x, 30.0)));
+    }
+    assert!(net.node_count() == 61);
+
+    let mover = NodeId(5);
+    let cycler = NodeId(17);
+    let churner = NodeId(33);
+    let churn_cfg = net.config(churner).expect("churner present");
+
+    // Warm-up: grows every buffer, pool, adjacency list, and grid cell
+    // to its steady-state capacity.
+    for _ in 0..12 {
+        cycle(&mut net, mover, cycler, churner, churn_cfg);
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..25 {
+        cycle(&mut net, mover, cycler, churner, churn_cfg);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state rewire must be allocation-free, saw {} allocations over 25 cycles",
+        after - before
+    );
+
+    // The network is still healthy after the hammering.
+    net.check_topology();
+}
