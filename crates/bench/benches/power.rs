@@ -1,0 +1,152 @@
+//! Power-control loop throughput trajectory → `BENCH_power.json`.
+//!
+//! Measures the `minim-power` closed loop at N ∈ {1k, 4k} on the
+//! metropolis-style clustered deployment, continuous vs. discrete
+//! (12-rung) ladder:
+//!
+//! * **loop**: full `PowerLoop::run` passes per second, the iteration
+//!   count to convergence, and link-update throughput
+//!   (links × iterations / second — the inner-loop rate the sparse
+//!   interferer lists exist for);
+//! * **events**: end-to-end endogenous events per second — the loop's
+//!   emitted set-range stream applied through a fresh Minim strategy,
+//!   i.e. what a power-control measured phase costs the scenario lab.
+//!
+//! Run via `cargo bench -p minim-bench --bench power`; CI uploads the
+//! JSON as an artifact next to `BENCH_events.json`. Override the
+//! sweep with `MINIM_BENCH_POWER_NS=500,2000` and the output path
+//! with `MINIM_BENCH_POWER_OUT=path.json`.
+
+use minim_core::Minim;
+use minim_geom::{sample, Point, Rect};
+use minim_net::workload::{Placement, RangeDist};
+use minim_net::{Network, NodeConfig};
+use minim_power::{PowerLadder, PowerLoop, PowerLoopConfig};
+use minim_sim::json::Json;
+use minim_sim::runner::run_events;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// A clustered metropolis-style base network with `n` nodes.
+fn base_net(n: usize, seed: u64) -> Network {
+    let arena = Rect::new(0.0, 0.0, 4000.0, 4000.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..40)
+        .map(|_| sample::uniform_point(&mut rng, &arena))
+        .collect();
+    let placement = Placement::Clustered {
+        centers,
+        spread: 25.0,
+        arena,
+    };
+    let ranges = RangeDist::paper();
+    let mut net = Network::new(30.5);
+    for _ in 0..n {
+        net.join(NodeConfig::new(
+            placement.sample(&mut rng),
+            ranges.sample(&mut rng),
+        ));
+    }
+    net
+}
+
+fn loop_config(ladder: PowerLadder) -> PowerLoopConfig {
+    let mut cfg = PowerLoopConfig::for_range_scale(25.5);
+    cfg.ladder = ladder;
+    cfg
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let ns: Vec<usize> = std::env::var("MINIM_BENCH_POWER_NS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("MINIM_BENCH_POWER_NS: bad N"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1_000, 4_000]);
+    // Cargo runs bench binaries with cwd = the *package* root
+    // (crates/bench); anchor the default output at the workspace root
+    // so CI finds it where the checkout lives.
+    let out_path = std::env::var("MINIM_BENCH_POWER_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_power.json").to_string()
+    });
+    let seed = 0x50_57u64;
+
+    let mut results: Vec<Json> = Vec::new();
+    for &n in &ns {
+        let reps = if n >= 4_000 { 2 } else { 3 };
+        let net = base_net(n, seed);
+        for (ladder_name, ladder) in [
+            ("continuous", PowerLadder::Continuous),
+            ("discrete-12", PowerLadder::Geometric { levels: 12 }),
+        ] {
+            let lp = PowerLoop::new(loop_config(ladder));
+            // Loop throughput: converge the field from scratch.
+            let outcome = lp.run(&net, &[]);
+            let secs = median(
+                (0..reps)
+                    .map(|_| {
+                        let t = Instant::now();
+                        let o = lp.run(&net, &[]);
+                        assert_eq!(o.report.iterations, outcome.report.iterations);
+                        t.elapsed().as_secs_f64()
+                    })
+                    .collect(),
+            );
+            let iters = outcome.report.iterations;
+            let link_updates = (outcome.report.links * iters) as f64 / secs;
+            // Event throughput: the emitted endogenous stream through
+            // a fresh Minim strategy on a clone of the base.
+            let ev_secs = median(
+                (0..reps)
+                    .map(|_| {
+                        let mut run_net = net.clone();
+                        let mut s = Minim::default();
+                        let t = Instant::now();
+                        run_events(&mut s, &mut run_net, &outcome.events);
+                        t.elapsed().as_secs_f64()
+                    })
+                    .collect(),
+            );
+            let events = outcome.events.len();
+            println!(
+                "power/N={n}: {ladder_name:>11} {:>7.2} loops/s | {iters:>3} iters | {:>10.0} link-updates/s | {:>8.0} endogenous events/s ({events} events)",
+                1.0 / secs,
+                link_updates,
+                events as f64 / ev_secs,
+            );
+            results.push(Json::obj(vec![
+                ("n", Json::Num(n as f64)),
+                ("ladder", Json::Str(ladder_name.to_string())),
+                ("loop_seconds", Json::Num(secs)),
+                ("iterations", Json::Num(iters as f64)),
+                ("links", Json::Num(outcome.report.links as f64)),
+                ("link_updates_per_sec", Json::Num(link_updates)),
+                ("events", Json::Num(events as f64)),
+                ("events_per_sec", Json::Num(events as f64 / ev_secs)),
+                (
+                    "feasible",
+                    Json::Bool(outcome.report.feasibility.is_feasible()),
+                ),
+                (
+                    "infeasible_nodes",
+                    Json::Num(outcome.report.infeasible.len() as f64),
+                ),
+            ]));
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("minim-bench-power/1".to_string())),
+        ("results", Json::Arr(results)),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_power.json");
+    println!("wrote {out_path}");
+}

@@ -40,6 +40,7 @@ fn bench_radio_slots(c: &mut Criterion) {
                 let mut sim = RadioSim::new(RadioConfig {
                     retune_slots: 8,
                     traffic_prob: 0.5,
+                    ..RadioConfig::default()
                 });
                 let mut rng = StdRng::seed_from_u64(1);
                 for _ in 0..100 {

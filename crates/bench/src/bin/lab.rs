@@ -54,6 +54,7 @@ fn sweep_shape(spec: &ScenarioSpec) -> String {
         SweepAxis::Rounds(max) => format!("RoundNo 1..={max}"),
         SweepAxis::MixSteps(v) => format!("steps x{}", v.len()),
         SweepAxis::LongFraction(v) => format!("longfrac x{}", v.len()),
+        SweepAxis::TargetSinr(v) => format!("targetSINR x{}", v.len()),
         SweepAxis::Single => "single point".into(),
     }
 }

@@ -285,6 +285,7 @@ fn radio_goodput_study(cfg: &ExperimentConfig, retune_windows: &[u64]) -> Table 
                     RadioConfig {
                         retune_slots: window,
                         traffic_prob: 0.5,
+                        ..RadioConfig::default()
                     },
                     &mut traffic_rng,
                 );

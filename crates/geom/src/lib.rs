@@ -30,6 +30,8 @@
 //! distributions (ties have measure zero) and the paper's model treats
 //! the boundary case `d == r` as connected (we follow `d <= r`).
 
+#![deny(missing_docs)]
+
 pub mod grid;
 pub mod sample;
 pub mod segindex;

@@ -22,7 +22,7 @@
 //! cell ranges.
 
 use crate::grid::cell_coord;
-use crate::segment::{line_of_sight_blocked, Segment};
+use crate::segment::{line_of_sight_blocked, line_of_sight_crossings, Segment};
 use crate::Point;
 use std::collections::HashMap;
 
@@ -147,6 +147,48 @@ impl SegmentGrid {
         }
         hit
     }
+
+    /// How many walls cross the sight line `from → to` — exactly
+    /// [`line_of_sight_crossings`] over [`SegmentGrid::walls`], but
+    /// probing only walls near the sight line.
+    ///
+    /// This is the *attenuated* query the physical layer uses: where
+    /// [`SegmentGrid::blocked`] treats a single wall as opaque, the
+    /// gain model in `minim-power` charges a per-wall penetration
+    /// loss, so it needs the count. Unlike `blocked`, candidates must
+    /// be deduplicated (a wall sharing several cells with the sight
+    /// line may be probed repeatedly), so the query allocates a small
+    /// candidate buffer; it runs on the power-loop's precompute path,
+    /// not the steady-state rewire path.
+    pub fn crossings(&self, from: &Point, to: &Point) -> usize {
+        if self.walls.len() <= LINEAR_SCAN_CUTOFF {
+            return line_of_sight_crossings(&self.walls, from, to);
+        }
+        let sight = Segment::new(*from, *to);
+        let mut candidates: Vec<u32> = self.broad.clone();
+        let mut probes = 0usize;
+        let fits = for_each_supercover_cell(&sight, self.cell, |c| {
+            probes += 1;
+            if probes > RASTER_CELL_CAP {
+                return false;
+            }
+            if let Some(ids) = self.cells.get(&c) {
+                candidates.extend_from_slice(ids);
+            }
+            true
+        });
+        if !fits {
+            // Query supercover over the cap: degrade to the exact
+            // linear count.
+            return line_of_sight_crossings(&self.walls, from, to);
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates
+            .into_iter()
+            .filter(|&i| self.walls[i as usize].blocks(from, to))
+            .count()
+    }
 }
 
 /// Visits every grid cell the segment's (padded) supercover touches by
@@ -251,6 +293,35 @@ mod tests {
         let g = grid_with(1.0, &walls);
         assert!(g.blocked(&Point::new(0.5, 5.0), &Point::new(0.5, 15.0)));
         assert!(!g.blocked(&Point::new(100.0, 5.0), &Point::new(200.0, 5.0)));
+    }
+
+    #[test]
+    fn crossings_counts_each_wall_once() {
+        // 12 vertical walls clear the linear cutoff; a horizontal
+        // sight line at y=5 crosses exactly the walls between its
+        // endpoints, each counted once even though every wall spans
+        // several probed cells.
+        let walls: Vec<Segment> = (0..12)
+            .map(|i| {
+                let x = 10.0 * i as f64;
+                seg(x, 0.0, x, 40.0)
+            })
+            .collect();
+        let g = grid_with(7.0, &walls);
+        let from = Point::new(1.0, 5.0);
+        let to = Point::new(45.0, 5.0);
+        assert_eq!(g.crossings(&from, &to), 4, "walls at x=10,20,30,40");
+        assert_eq!(
+            g.crossings(&from, &to),
+            crate::segment::line_of_sight_crossings(&walls, &from, &to)
+        );
+        // Clear sight lines count zero, in agreement with `blocked`.
+        let clear = (Point::new(11.0, 5.0), Point::new(18.0, 35.0));
+        assert_eq!(g.crossings(&clear.0, &clear.1), 0);
+        assert!(!g.blocked(&clear.0, &clear.1));
+        // Few-wall grids take the linear path and agree too.
+        let small = grid_with(7.0, &walls[..3]);
+        assert_eq!(small.crossings(&from, &to), 2);
     }
 
     #[test]

@@ -87,6 +87,18 @@ pub fn line_of_sight_blocked(walls: &[Segment], from: &Point, to: &Point) -> boo
     walls.iter().any(|w| w.blocks(from, to))
 }
 
+/// How many walls in `walls` the sight line `from → to` crosses.
+///
+/// The *attenuated* generalization of [`line_of_sight_blocked`]: where
+/// the binary model treats one wall as fully opaque, the physical
+/// layer (`minim-power`) charges a per-wall penetration loss, so the
+/// count is what matters. A wall is counted once however it is
+/// touched (proper crossing, endpoint graze, collinear overlap) —
+/// consistent with the conservative blocking predicate.
+pub fn line_of_sight_crossings(walls: &[Segment], from: &Point, to: &Point) -> usize {
+    walls.iter().filter(|w| w.blocks(from, to)).count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -289,6 +289,14 @@ impl Network {
         self.obstacles.blocked(a, b)
     }
 
+    /// The obstacle index itself, for attenuated (counting) sight-line
+    /// queries: where the link predicate treats one wall as opaque,
+    /// the physical layer (`minim-power`) charges a per-wall
+    /// penetration loss via [`SegmentGrid::crossings`].
+    pub fn obstacle_index(&self) -> &SegmentGrid {
+        &self.obstacles
+    }
+
     /// Hands a delta's buffers back for reuse. Event loops that are
     /// done with a [`TopologyDelta`] (metrics read, validation run)
     /// should recycle it: together with the internal scratch buffers

@@ -1,0 +1,451 @@
+//! The closed-loop distributed power-control iteration.
+//!
+//! Foschini–Miljanic: every link scales its transmit power by the
+//! ratio of its target SINR to its measured SINR,
+//!
+//! ```text
+//! p_i ← clamp( γ / SINR_i(p) · p_i )  =  clamp( γ · I_i(p) / (L · g_ii) )
+//! ```
+//!
+//! where `I_i(p)` is the noise-plus-interference at `i`'s receiver.
+//! The right-hand side is a *standard interference function*
+//! (positive, monotone, scalable), so with the max-power clamp the
+//! synchronous iteration converges from any starting point; started
+//! from the minimum power it converges **monotonically from below**,
+//! which is what [`run`] does and what the tests pin.
+//!
+//! Real handsets cannot emit arbitrary powers: [`PowerLadder`]
+//! optionally quantizes every update **up** to the next discrete
+//! level (ceiling quantization keeps the iteration standard and makes
+//! the state space finite, so discrete runs reach an exact fixed
+//! point). Feasibility is read off the fixed point: if every link
+//! meets its target the instance is [`Feasibility::Converged`]; if
+//! some links sit at the power cap below target the instance is
+//! overloaded ([`Feasibility::PowerCapped`] names them — the
+//! textbook near-far outcome); if the iteration budget runs out
+//! before the fixed point the instance is [`Feasibility::Diverging`].
+
+use crate::sinr::SinrField;
+
+/// The discrete transmit-power levels a radio can emit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerLadder {
+    /// Any power in `[min_power, max_power]` — the idealized
+    /// continuous loop.
+    Continuous,
+    /// `levels` geometrically spaced rungs from `min_power` to
+    /// `max_power` inclusive; updates quantize **up** to the next
+    /// rung (a radio rounds its power request up so the target is
+    /// still met).
+    Geometric {
+        /// Number of rungs (≥ 2).
+        levels: usize,
+    },
+}
+
+impl PowerLadder {
+    /// Quantizes a clamped power request onto the ladder. Continuous
+    /// ladders pass through; geometric ladders round up to the next
+    /// rung (the top rung for requests beyond it).
+    pub fn quantize_up(&self, p: f64, min_power: f64, max_power: f64) -> f64 {
+        match *self {
+            PowerLadder::Continuous => p,
+            PowerLadder::Geometric { levels } => {
+                debug_assert!(levels >= 2);
+                if p <= min_power {
+                    return min_power;
+                }
+                if p >= max_power {
+                    return max_power;
+                }
+                let step = (max_power / min_power).ln() / (levels - 1) as f64;
+                let k = ((p / min_power).ln() / step).ceil();
+                (min_power * (k * step).exp()).min(max_power)
+            }
+        }
+    }
+
+    /// Every rung of the ladder within `[min_power, max_power]`
+    /// (a two-element vector for continuous ladders: the bounds).
+    pub fn levels(&self, min_power: f64, max_power: f64) -> Vec<f64> {
+        match *self {
+            PowerLadder::Continuous => vec![min_power, max_power],
+            PowerLadder::Geometric { levels } => {
+                let step = (max_power / min_power).ln() / (levels - 1) as f64;
+                (0..levels)
+                    .map(|k| (min_power * (k as f64 * step).exp()).min(max_power))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Parameters of one control-loop run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlConfig {
+    /// Target SINR `γ` every link drives toward (linear, not dB).
+    pub target_sinr: f64,
+    /// Smallest emittable power (also the starting point — the loop
+    /// converges monotonically from below).
+    pub min_power: f64,
+    /// The power cap; links stuck here below target are infeasible.
+    pub max_power: f64,
+    /// The radio's power ladder.
+    pub ladder: PowerLadder,
+    /// Relative-change convergence tolerance for continuous ladders
+    /// (discrete ladders stop on exact fixed points).
+    pub tol: f64,
+    /// Iteration budget; exhausting it is [`Feasibility::Diverging`].
+    pub max_iters: usize,
+}
+
+impl ControlConfig {
+    /// A sensible loop for targets around `target_sinr`: powers
+    /// spanning `[min_power, max_power]`, continuous ladder, `1e-6`
+    /// tolerance, 200-iteration budget.
+    pub fn new(target_sinr: f64, min_power: f64, max_power: f64) -> Self {
+        ControlConfig {
+            target_sinr,
+            min_power,
+            max_power,
+            ladder: PowerLadder::Continuous,
+            tol: 1e-6,
+            max_iters: 200,
+        }
+    }
+
+    /// Asserts the configuration is runnable.
+    ///
+    /// # Panics
+    /// Panics on a non-positive target, an empty/inverted power
+    /// interval, a degenerate ladder, a non-positive tolerance, or a
+    /// zero iteration budget.
+    pub fn validate(&self) {
+        assert!(
+            self.target_sinr.is_finite() && self.target_sinr > 0.0,
+            "target_sinr must be positive, got {}",
+            self.target_sinr
+        );
+        assert!(
+            self.min_power > 0.0 && self.min_power <= self.max_power && self.max_power.is_finite(),
+            "need 0 < min_power <= max_power, got [{}, {}]",
+            self.min_power,
+            self.max_power
+        );
+        if let PowerLadder::Geometric { levels } = self.ladder {
+            assert!(levels >= 2, "a discrete ladder needs >= 2 levels");
+        }
+        assert!(self.tol > 0.0, "tol must be positive");
+        assert!(self.max_iters >= 1, "need an iteration budget");
+    }
+}
+
+/// How a control-loop run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Feasibility {
+    /// Fixed point with every link at or above target: the instance
+    /// is feasible and `powers` is (within tolerance / quantization)
+    /// the minimal power vector serving it.
+    Converged,
+    /// Fixed point with the listed links pinned at `max_power` below
+    /// target: the instance is overloaded (the near-far outcome);
+    /// everyone else still meets target *given* the capped powers.
+    PowerCapped {
+        /// Link indices stuck at the cap below target, ascending.
+        capped: Vec<usize>,
+    },
+    /// The iteration budget ran out before a fixed point (continuous
+    /// loops approach infeasible fixed points asymptotically; this is
+    /// the in-budget divergence signal).
+    Diverging,
+}
+
+impl Feasibility {
+    /// Whether every link met its target.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Feasibility::Converged)
+    }
+}
+
+/// The result of [`run`]: final powers, per-link SINRs, and the
+/// feasibility verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlOutcome {
+    /// Final power vector (one entry per link).
+    pub powers: Vec<f64>,
+    /// SINR of every link under `powers`.
+    pub sinrs: Vec<f64>,
+    /// Synchronous iterations executed.
+    pub iterations: usize,
+    /// How the run ended.
+    pub feasibility: Feasibility,
+}
+
+/// Runs the synchronous Foschini–Miljanic iteration on `field` from
+/// the all-minimum power vector. See the module docs for the update
+/// rule and the feasibility classification.
+///
+/// # Panics
+/// Panics if `cfg` fails [`ControlConfig::validate`].
+pub fn run(field: &SinrField, cfg: &ControlConfig) -> ControlOutcome {
+    cfg.validate();
+    let n = field.len();
+    let start = cfg
+        .ladder
+        .quantize_up(cfg.min_power, cfg.min_power, cfg.max_power);
+    let mut powers = vec![start; n];
+    let mut next = vec![0.0; n];
+    let mut iterations = 0;
+    let mut fixed_point = false;
+    let gamma = cfg.target_sinr;
+    let budget = field.budget();
+    while iterations < cfg.max_iters {
+        iterations += 1;
+        let mut max_rel = 0.0f64;
+        for i in 0..n {
+            let g = field.direct_gain(i);
+            let desired = if g > 0.0 {
+                gamma * field.interference(&powers, i) / (budget.processing_gain * g)
+            } else {
+                // Dead direct path: no finite power serves the link.
+                f64::INFINITY
+            };
+            let clamped = desired.clamp(cfg.min_power, cfg.max_power);
+            let q = cfg
+                .ladder
+                .quantize_up(clamped, cfg.min_power, cfg.max_power);
+            max_rel = max_rel.max((q - powers[i]).abs() / powers[i]);
+            next[i] = q;
+        }
+        std::mem::swap(&mut powers, &mut next);
+        let done = match cfg.ladder {
+            PowerLadder::Continuous => max_rel <= cfg.tol,
+            // Discrete state space: stop only on the exact fixed point.
+            PowerLadder::Geometric { .. } => max_rel == 0.0,
+        };
+        if done {
+            fixed_point = true;
+            break;
+        }
+    }
+    let sinrs = field.sinrs(&powers);
+    // Meeting the target "within tolerance": one more tolerance-sized
+    // power step would clear it.
+    let met = |i: usize| sinrs[i] >= gamma * (1.0 - 4.0 * cfg.tol);
+    let feasibility = if !fixed_point {
+        Feasibility::Diverging
+    } else {
+        let capped: Vec<usize> = (0..n)
+            .filter(|&i| !met(i) && powers[i] >= cfg.max_power * (1.0 - 1e-12))
+            .collect();
+        if capped.is_empty() && (0..n).all(met) {
+            Feasibility::Converged
+        } else {
+            // At a fixed point an unmet link is necessarily at the
+            // cap; keep the classification robust anyway.
+            let capped = if capped.is_empty() {
+                (0..n).filter(|&i| !met(i)).collect()
+            } else {
+                capped
+            };
+            Feasibility::PowerCapped { capped }
+        }
+    };
+    ControlOutcome {
+        powers,
+        sinrs,
+        iterations,
+        feasibility,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gain::GainModel;
+    use crate::sinr::LinkBudget;
+    use minim_geom::Point;
+
+    fn field_of(coords: &[(f64, f64)], receiver: &[usize]) -> SinrField {
+        let positions: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        SinrField::build(
+            &GainModel::terrain(),
+            LinkBudget::cdma64(),
+            &positions,
+            receiver,
+            None,
+            0.0,
+        )
+    }
+
+    /// Two well-separated pairs: feasible; the loop must converge with
+    /// every SINR at the target (within tolerance), powers strictly
+    /// inside the cap.
+    #[test]
+    fn feasible_instance_converges_to_target() {
+        let field = field_of(
+            &[(0.0, 0.0), (8.0, 0.0), (300.0, 0.0), (308.0, 0.0)],
+            &[1, 0, 3, 2],
+        );
+        let cfg = ControlConfig::new(4.0, 1e-3, 1e6);
+        let out = run(&field, &cfg);
+        assert_eq!(out.feasibility, Feasibility::Converged);
+        assert!(out.iterations < cfg.max_iters);
+        for (i, &s) in out.sinrs.iter().enumerate() {
+            assert!(
+                (s / 4.0 - 1.0).abs() < 1e-3,
+                "link {i} SINR {s} should sit at the target"
+            );
+            assert!(out.powers[i] < cfg.max_power);
+        }
+    }
+
+    /// Monotone convergence from below: every synchronous iterate
+    /// dominates the previous one, and the final vector dominates
+    /// them all — the standard-interference-function signature.
+    #[test]
+    fn iterates_are_monotone_from_min_power() {
+        let field = field_of(
+            &[(0.0, 0.0), (6.0, 0.0), (14.0, 0.0), (20.0, 0.0)],
+            &[1, 0, 3, 2],
+        );
+        let cfg = ControlConfig::new(6.0, 1e-3, 1e6);
+        // Re-run the loop manually, capturing iterates.
+        let mut powers = vec![cfg.min_power; field.len()];
+        for _ in 0..60 {
+            let prev = powers.clone();
+            for (i, p) in powers.iter_mut().enumerate() {
+                let desired = cfg.target_sinr * field.interference(&prev, i)
+                    / (field.budget().processing_gain * field.direct_gain(i));
+                *p = desired.clamp(cfg.min_power, cfg.max_power);
+            }
+            for (i, (now, before)) in powers.iter().zip(&prev).enumerate() {
+                assert!(
+                    now >= &(before - 1e-15),
+                    "iterate must not decrease: link {i}"
+                );
+            }
+        }
+        let out = run(&field, &cfg);
+        assert_eq!(out.feasibility, Feasibility::Converged);
+        for (ran, manual) in out.powers.iter().zip(&powers) {
+            // Both converge from below to the same fixed point; the
+            // tolerance-stopped run and the 60-iteration prefix agree
+            // to well within the convergence slack.
+            let rel = (ran - manual).abs() / manual;
+            assert!(rel < 1e-3, "same fixed point, got rel diff {rel}");
+        }
+    }
+
+    /// An overloaded near-far cell: many co-located transmitters
+    /// shouting at one receiver point can never all make a high
+    /// target under a finite cap — the loop must *detect* that, not
+    /// spin.
+    #[test]
+    fn overloaded_near_far_is_power_capped() {
+        // 6 transmitters in a tight clump all aiming at node 0: the
+        // aggregate interference at the shared receiver scales with
+        // every power simultaneously, so γ = 16 (> L/5) is hopeless.
+        let mut coords = vec![(0.0, 0.0)];
+        for k in 0..6 {
+            coords.push((10.0 + 0.1 * k as f64, 0.0));
+        }
+        let receiver: Vec<usize> = std::iter::once(1)
+            .chain(std::iter::repeat_n(0, 6))
+            .collect();
+        let field = field_of(&coords, &receiver);
+        let cfg = ControlConfig::new(16.0, 1e-3, 1e4);
+        let out = run(&field, &cfg);
+        let Feasibility::PowerCapped { capped } = &out.feasibility else {
+            panic!("expected PowerCapped, got {:?}", out.feasibility);
+        };
+        assert!(!capped.is_empty());
+        for &i in capped {
+            assert!(out.powers[i] >= cfg.max_power * (1.0 - 1e-9));
+            assert!(out.sinrs[i] < 16.0);
+        }
+    }
+
+    /// Tight budget on a feasible-but-slow instance reports
+    /// `Diverging` instead of a wrong verdict.
+    #[test]
+    fn exhausted_budget_reports_diverging() {
+        let field = field_of(
+            &[(0.0, 0.0), (6.0, 0.0), (9.0, 0.0), (15.0, 0.0)],
+            &[1, 0, 3, 2],
+        );
+        let mut cfg = ControlConfig::new(8.0, 1e-3, 1e6);
+        cfg.max_iters = 2;
+        let out = run(&field, &cfg);
+        assert_eq!(out.feasibility, Feasibility::Diverging);
+        assert_eq!(out.iterations, 2);
+    }
+
+    /// Discrete ladders reach an exact fixed point whose powers are
+    /// ladder rungs, and ceiling quantization never lands below the
+    /// continuous solution.
+    #[test]
+    fn discrete_ladder_fixed_point_on_rungs() {
+        let field = field_of(
+            &[(0.0, 0.0), (7.0, 0.0), (40.0, 3.0), (46.0, 3.0)],
+            &[1, 0, 3, 2],
+        );
+        let mut cfg = ControlConfig::new(4.0, 1e-3, 1e5);
+        let cont = run(&field, &cfg);
+        cfg.ladder = PowerLadder::Geometric { levels: 24 };
+        let disc = run(&field, &cfg);
+        assert_eq!(disc.feasibility, Feasibility::Converged);
+        let rungs = cfg.ladder.levels(cfg.min_power, cfg.max_power);
+        for (i, &p) in disc.powers.iter().enumerate() {
+            assert!(
+                rungs.iter().any(|&r| (r - p).abs() < 1e-9 * r),
+                "power {p} of link {i} is not a rung"
+            );
+            assert!(
+                p >= cont.powers[i] * (1.0 - 1e-9),
+                "ceiling quantization stays above the continuous solution"
+            );
+            assert!(disc.sinrs[i] >= 4.0 * (1.0 - 1e-3), "target still met");
+        }
+        // Fixed point: one more run from the discrete solution is a
+        // no-op (run() restarts from min power and must land on the
+        // same rungs — the fixed point is unique from below).
+        let again = run(&field, &cfg);
+        assert_eq!(again.powers, disc.powers);
+    }
+
+    #[test]
+    fn quantize_up_is_monotone_and_idempotent() {
+        let ladder = PowerLadder::Geometric { levels: 10 };
+        let (lo, hi) = (1e-3, 1e3);
+        let rungs = ladder.levels(lo, hi);
+        assert_eq!(rungs.len(), 10);
+        assert!((rungs[0] - lo).abs() < 1e-12);
+        assert!((rungs[9] - hi).abs() < 1e-9);
+        let mut prev = 0.0;
+        for k in 0..200 {
+            let p = lo * ((k as f64 / 199.0) * (hi / lo).ln()).exp();
+            let q = ladder.quantize_up(p, lo, hi);
+            assert!(q + 1e-15 >= p, "never rounds down");
+            assert!(q + 1e-15 >= prev, "monotone");
+            assert!(
+                (ladder.quantize_up(q, lo, hi) - q).abs() < 1e-12 * q,
+                "idempotent"
+            );
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn isolated_link_saturates_at_cap() {
+        // A single node with no receiver: dead direct path, power
+        // pinned at the cap and reported infeasible.
+        let field = field_of(&[(0.0, 0.0)], &[0]);
+        let out = run(&field, &ControlConfig::new(4.0, 1e-3, 10.0));
+        assert_eq!(
+            out.feasibility,
+            Feasibility::PowerCapped { capped: vec![0] }
+        );
+        assert_eq!(out.powers, vec![10.0]);
+    }
+}

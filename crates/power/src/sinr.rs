@@ -1,0 +1,307 @@
+//! Per-link SINR evaluation against an active link set.
+//!
+//! A *link* is a transmitter together with its intended receiver; in
+//! the transmitter-oriented CDMA model every node owns one spreading
+//! code and one uplink, so links and transmitters coincide. The SINR
+//! of link `i` at its receiver `r(i)` under the power vector `p` is
+//!
+//! ```text
+//!             L · g(x_i, x_r(i)) · p_i
+//! SINR_i = ────────────────────────────────
+//!           N0 + Σ_{j≠i} g(x_j, x_r(i)) · p_j
+//! ```
+//!
+//! with `L` the CDMA processing (spreading) gain and `N0` the receiver
+//! noise power. [`SinrField`] precomputes, per link, the direct gain
+//! and a sparse interferer list — positions are static over one
+//! control-loop run, so the geometry is paid once and each iteration
+//! is a pass over the sparse lists. Interferers whose gain at a
+//! receiver is below `floor_frac · N0 / p_max` are dropped: even at
+//! full power they would contribute less than `floor_frac` of the
+//! noise floor, bounding the relative SINR error by construction.
+
+use crate::gain::GainModel;
+use minim_geom::{Point, SegmentGrid};
+
+/// The link budget shared by every receiver: processing gain and
+/// noise power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// CDMA processing (spreading) gain `L` applied to the wanted
+    /// signal after despreading.
+    pub processing_gain: f64,
+    /// Receiver noise power `N0` (same normalized units as transmit
+    /// powers).
+    pub noise: f64,
+}
+
+impl LinkBudget {
+    /// A spreading factor of 64 over unit noise — the normalized
+    /// default; transmit powers are expressed relative to `N0`.
+    pub fn cdma64() -> Self {
+        LinkBudget {
+            processing_gain: 64.0,
+            noise: 1.0,
+        }
+    }
+
+    /// Asserts the budget is physically sensible.
+    ///
+    /// # Panics
+    /// Panics when the processing gain is below 1 or the noise is not
+    /// strictly positive.
+    pub fn validate(&self) {
+        assert!(
+            self.processing_gain.is_finite() && self.processing_gain >= 1.0,
+            "processing_gain must be >= 1, got {}",
+            self.processing_gain
+        );
+        assert!(
+            self.noise.is_finite() && self.noise > 0.0,
+            "noise must be positive, got {}",
+            self.noise
+        );
+    }
+}
+
+/// A precomputed SINR evaluation field: direct gains plus sparse
+/// interferer lists for a fixed set of transmitter/receiver positions.
+#[derive(Debug, Clone)]
+pub struct SinrField {
+    budget: LinkBudget,
+    /// `direct[i]` — gain from transmitter `i` to its own receiver
+    /// (0 when the link is fully blocked or the node has no receiver).
+    direct: Vec<f64>,
+    /// `interferers[i]` — `(j, g(x_j, x_r(i)))` for every transmitter
+    /// `j ≠ i` above the gain floor at `i`'s receiver.
+    interferers: Vec<Vec<(u32, f64)>>,
+}
+
+impl SinrField {
+    /// Builds the field for transmitters at `positions`, where
+    /// transmitter `i` aims at `positions[receiver[i]]`. A
+    /// `receiver[i] == i` entry means "no receiver" (an isolated
+    /// node): its direct gain is 0 and nothing interferes at it.
+    ///
+    /// `walls` (if any) attenuate both wanted and interfering paths
+    /// through [`GainModel::wall_loss`]. `gain_floor` is the absolute
+    /// gain below which an interferer is dropped (derive it as
+    /// `floor_frac · noise / p_max`; see the module docs).
+    ///
+    /// # Panics
+    /// Panics when the lengths differ or a receiver index is out of
+    /// bounds.
+    pub fn build(
+        gain: &GainModel,
+        budget: LinkBudget,
+        positions: &[Point],
+        receiver: &[usize],
+        walls: Option<&SegmentGrid>,
+        gain_floor: f64,
+    ) -> SinrField {
+        assert_eq!(positions.len(), receiver.len(), "one receiver per node");
+        gain.validate();
+        budget.validate();
+        let n = positions.len();
+        // Never scan farther than the floor distance — beyond it even
+        // an unobstructed interferer is below the floor.
+        let cutoff = if gain_floor > 0.0 && gain_floor < 1.0 {
+            gain.distance_for_gain(gain_floor)
+        } else {
+            f64::INFINITY
+        };
+        let cutoff2 = cutoff * cutoff;
+        let g_at = |from: usize, to_pos: &Point| -> f64 {
+            gain.gain_between(&positions[from], to_pos, walls)
+        };
+        let mut direct = Vec::with_capacity(n);
+        let mut interferers = Vec::with_capacity(n);
+        for (i, &r) in receiver.iter().enumerate() {
+            assert!(r < n, "receiver index {r} out of bounds ({n} nodes)");
+            if r == i {
+                direct.push(0.0);
+                interferers.push(Vec::new());
+                continue;
+            }
+            let rx = positions[r];
+            direct.push(g_at(i, &rx));
+            let mut inter = Vec::new();
+            for (j, pos) in positions.iter().enumerate() {
+                // A receiver cancels its own transmission (j == r):
+                // counting it would swamp every bidirectional pair
+                // with near-field self-interference.
+                if j == i || j == r || pos.dist2(&rx) > cutoff2 {
+                    continue;
+                }
+                let g = g_at(j, &rx);
+                if g >= gain_floor {
+                    inter.push((j as u32, g));
+                }
+            }
+            interferers.push(inter);
+        }
+        SinrField {
+            budget,
+            direct,
+            interferers,
+        }
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.direct.len()
+    }
+
+    /// Whether the field has no links.
+    pub fn is_empty(&self) -> bool {
+        self.direct.is_empty()
+    }
+
+    /// The link budget the field was built with.
+    pub fn budget(&self) -> LinkBudget {
+        self.budget
+    }
+
+    /// Direct gain of link `i`.
+    #[inline]
+    pub fn direct_gain(&self, i: usize) -> f64 {
+        self.direct[i]
+    }
+
+    /// Noise-plus-interference power at link `i`'s receiver under `p`.
+    #[inline]
+    pub fn interference(&self, powers: &[f64], i: usize) -> f64 {
+        let mut acc = self.budget.noise;
+        for &(j, g) in &self.interferers[i] {
+            acc += g * powers[j as usize];
+        }
+        acc
+    }
+
+    /// SINR of link `i` under the power vector `powers` (0 when the
+    /// direct path is dead).
+    #[inline]
+    pub fn sinr(&self, powers: &[f64], i: usize) -> f64 {
+        self.budget.processing_gain * self.direct[i] * powers[i] / self.interference(powers, i)
+    }
+
+    /// SINR of every link under `powers`.
+    pub fn sinrs(&self, powers: &[f64]) -> Vec<f64> {
+        (0..self.len()).map(|i| self.sinr(powers, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minim_geom::Segment;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn lone_link_is_noise_limited() {
+        // Two nodes aiming at each other, 4 apart: SINR = L · g · p.
+        let positions = pts(&[(0.0, 0.0), (4.0, 0.0)]);
+        let field = SinrField::build(
+            &GainModel::terrain(),
+            LinkBudget::cdma64(),
+            &positions,
+            &[1, 0],
+            None,
+            0.0,
+        );
+        let p = [2.0, 2.0];
+        let g = GainModel::terrain().path_gain(4.0);
+        // Each is the other's receiver; a receiver cancels its own
+        // transmission, so the lone pair sees noise only.
+        let expect0 = 64.0 * g * 2.0 / 1.0;
+        assert!((field.sinr(&p, 0) - expect0).abs() < 1e-12);
+        assert_eq!(field.sinr(&p, 0), field.sinr(&p, 1), "symmetric pair");
+    }
+
+    #[test]
+    fn interference_reduces_sinr() {
+        // 0 → 1, with 2 close to receiver 1: raising p_2 drops SINR_0.
+        let positions = pts(&[(0.0, 0.0), (5.0, 0.0), (6.0, 0.0)]);
+        let field = SinrField::build(
+            &GainModel::terrain(),
+            LinkBudget::cdma64(),
+            &positions,
+            &[1, 0, 1],
+            None,
+            0.0,
+        );
+        let quiet = field.sinr(&[1.0, 1.0, 0.0], 0);
+        let loud = field.sinr(&[1.0, 1.0, 10.0], 0);
+        assert!(loud < quiet, "interferer power must hurt: {loud} < {quiet}");
+    }
+
+    #[test]
+    fn isolated_node_has_dead_link() {
+        let positions = pts(&[(0.0, 0.0)]);
+        let field = SinrField::build(
+            &GainModel::terrain(),
+            LinkBudget::cdma64(),
+            &positions,
+            &[0],
+            None,
+            0.0,
+        );
+        assert_eq!(field.direct_gain(0), 0.0);
+        assert_eq!(field.sinr(&[5.0], 0), 0.0);
+    }
+
+    #[test]
+    fn gain_floor_drops_distant_interferers_only() {
+        // Interferer at distance 100 from the receiver is below the
+        // floor; one at distance 3 stays.
+        let positions = pts(&[(0.0, 0.0), (2.0, 0.0), (5.0, 0.0), (102.0, 0.0)]);
+        let gm = GainModel::terrain();
+        let floor = gm.path_gain(50.0);
+        let all = SinrField::build(
+            &gm,
+            LinkBudget::cdma64(),
+            &positions,
+            &[1, 0, 1, 1],
+            None,
+            0.0,
+        );
+        let floored = SinrField::build(
+            &gm,
+            LinkBudget::cdma64(),
+            &positions,
+            &[1, 0, 1, 1],
+            None,
+            floor,
+        );
+        assert_eq!(floored.interferers[0].len(), 1, "only the near one");
+        assert_eq!(all.interferers[0].len(), 2);
+        let p = [1.0, 1.0, 1.0, 1.0];
+        let rel = (floored.sinr(&p, 0) - all.sinr(&p, 0)).abs() / all.sinr(&p, 0);
+        assert!(rel < 1e-2, "floor error is bounded, got {rel}");
+    }
+
+    #[test]
+    fn walls_attenuate_wanted_and_interfering_paths() {
+        let positions = pts(&[(0.0, 0.0), (6.0, 0.0), (3.0, 5.0)]);
+        let mut walls = SegmentGrid::new(5.0);
+        walls.insert(Segment::new(Point::new(3.0, -2.0), Point::new(3.0, 2.0)));
+        let gm = GainModel::terrain();
+        let clear = SinrField::build(&gm, LinkBudget::cdma64(), &positions, &[1, 0, 1], None, 0.0);
+        let walled = SinrField::build(
+            &gm,
+            LinkBudget::cdma64(),
+            &positions,
+            &[1, 0, 1],
+            Some(&walls),
+            0.0,
+        );
+        // The 0→1 direct path crosses the wall: 10 dB down.
+        assert!((walled.direct_gain(0) - clear.direct_gain(0) * 0.1).abs() < 1e-15);
+        // 2's path to receiver 1 clears the wall: untouched.
+        let g2 = |f: &SinrField| f.interferers[0].iter().find(|e| e.0 == 2).unwrap().1;
+        assert_eq!(g2(&walled), g2(&clear));
+    }
+}

@@ -187,6 +187,55 @@ pub fn lighthouse() -> ScenarioSpec {
         .runs(3)
 }
 
+/// The near-far regime: a handful of dense hot spots whose members
+/// drive a closed power-control loop (`minim-power`). The loop pushes
+/// cluster cores to high power against mutual interference and the
+/// converged equilibrium comes back as *endogenous* set-range events
+/// — the paper's §5.2 power raises, now caused by physics instead of
+/// a distribution. Sweeping the target SINR sweeps how hard the
+/// near-far problem bites: higher targets inflate ranges (new
+/// conflict edges to recode) until cores saturate at the power cap.
+pub fn near_far() -> ScenarioSpec {
+    ScenarioSpec::new("near-far")
+        .summary("closed-loop power control over dense hot spots, sweep the target SINR")
+        .topology(TopologyFamily::Clustered {
+            clusters: 3,
+            spread: 4.0,
+        })
+        .base_phase(PhaseSpec::Join { count: 80 })
+        .measured_phase(PhaseSpec::PowerControl {
+            target_sinr: 4.0,
+            ladder: 0,
+            drop_infeasible: false,
+            sink_every: 8,
+        })
+        .measure(Measure::DeltaFromBase)
+        .sweep(SweepAxis::TargetSinr(vec![1.0, 2.0, 4.0, 8.0, 16.0]))
+}
+
+/// Interference-coupled clusters on a discrete power ladder: tight
+/// clusters join, then the quantized (12-rung) power loop runs with
+/// admission control — power-capped nodes are *dropped* (leave
+/// events), the duty-cycling regime of discrete power-control
+/// studies. Sweeping `N` scales the interference coupling; every
+/// strategy sees the same join + set-range + leave stream.
+pub fn interference_clusters() -> ScenarioSpec {
+    ScenarioSpec::new("interference-clusters")
+        .summary("discrete-ladder power control with admission drops over tight clusters, sweep N")
+        .topology(TopologyFamily::Clustered {
+            clusters: 8,
+            spread: 3.0,
+        })
+        .measured_phase(PhaseSpec::Join { count: 0 })
+        .measured_phase(PhaseSpec::PowerControl {
+            target_sinr: 6.0,
+            ladder: 12,
+            drop_infeasible: true,
+            sink_every: 10,
+        })
+        .sweep(SweepAxis::JoinCount(vec![40, 80, 120, 160]))
+}
+
 /// Every named preset, with the paper's default sweep values.
 pub fn catalog() -> Vec<ScenarioSpec> {
     vec![
@@ -201,6 +250,8 @@ pub fn catalog() -> Vec<ScenarioSpec> {
         corridor_joins(),
         metropolis(),
         lighthouse(),
+        near_far(),
+        interference_clusters(),
     ]
 }
 
@@ -244,5 +295,100 @@ mod tests {
             let parsed = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
             assert_eq!(spec, parsed);
         }
+    }
+
+    /// The catalog rows make physical claims; pin them against the
+    /// loop itself. `near-far` must cross the feasibility wall inside
+    /// its sweep (low targets feasible, the top target power-capped)
+    /// and `interference-clusters` must actually duty-cycle (emit
+    /// leave events) at its largest N.
+    #[test]
+    fn power_presets_cross_the_feasibility_wall() {
+        use minim_geom::{sample, Point};
+        use minim_net::workload::Placement;
+        use minim_net::{Network, NodeConfig};
+        use minim_power::{Feasibility, PowerLadder, PowerLoop, PowerLoopConfig, ReceiverPolicy};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // Rebuild each preset's deployment the way a replicate does.
+        let deploy = |spec: &ScenarioSpec, n: usize, seed: u64| -> Network {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let TopologyFamily::Clustered { clusters, spread } = spec.topology else {
+                panic!("power presets are clustered");
+            };
+            let centers: Vec<Point> = (0..clusters)
+                .map(|_| sample::uniform_point(&mut rng, &spec.arena))
+                .collect();
+            let placement = Placement::Clustered {
+                centers,
+                spread,
+                arena: spec.arena,
+            };
+            let mut net = Network::new(spec.ranges.upper_bound().max(1.0));
+            for _ in 0..n {
+                net.join(NodeConfig::new(
+                    placement.sample(&mut rng),
+                    spec.ranges.sample(&mut rng),
+                ));
+            }
+            net
+        };
+        let loop_for = |spec: &ScenarioSpec, phase_target: f64| -> PowerLoop {
+            let [PhaseSpec::PowerControl {
+                ladder,
+                drop_infeasible,
+                sink_every,
+                ..
+            }] = spec.measured[spec.measured.len() - 1..]
+            else {
+                panic!("last measured phase must be power control");
+            };
+            let mut cfg = PowerLoopConfig::for_range_scale(spec.ranges.upper_bound().max(1.0));
+            cfg.target_sinr = phase_target;
+            cfg.ladder = if ladder == 0 {
+                PowerLadder::Continuous
+            } else {
+                PowerLadder::Geometric { levels: ladder }
+            };
+            cfg.drop_infeasible = drop_infeasible;
+            cfg.receivers = ReceiverPolicy::Sinks { every: sink_every };
+            PowerLoop::new(cfg)
+        };
+
+        let nf = near_far();
+        let SweepAxis::TargetSinr(ref targets) = nf.sweep else {
+            panic!("near-far sweeps the target SINR");
+        };
+        let net = deploy(&nf, 80, 7);
+        let low = loop_for(&nf, targets[0]).run(&net, &[]);
+        assert!(
+            low.report.feasibility.is_feasible(),
+            "lowest target must converge: {:?}",
+            low.report.feasibility
+        );
+        let high = loop_for(&nf, *targets.last().unwrap()).run(&net, &[]);
+        assert!(
+            matches!(high.report.feasibility, Feasibility::PowerCapped { .. }),
+            "top target must overload the hot spots: {:?}",
+            high.report.feasibility
+        );
+
+        let ic = interference_clusters();
+        let SweepAxis::JoinCount(ref ns) = ic.sweep else {
+            panic!("interference-clusters sweeps N");
+        };
+        let net = deploy(&ic, *ns.last().unwrap(), 7);
+        let out = loop_for(&ic, 6.0).run(&net, &[]);
+        assert!(
+            !out.report.infeasible.is_empty(),
+            "largest N must duty-cycle some nodes"
+        );
+        assert!(
+            out.events
+                .iter()
+                .any(|e| matches!(e, minim_net::event::Event::Leave { .. })),
+            "drop_infeasible must surface as leave events"
+        );
     }
 }

@@ -31,6 +31,8 @@ use minim_net::workload::{
     MixWorkload, MovementWorkload, Placement, PowerRaiseWorkload, RangeDist,
 };
 use minim_net::Network;
+use minim_power::driver::ReceiverPolicy;
+use minim_power::{PowerLadder, PowerLoop, PowerLoopConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -196,6 +198,27 @@ pub enum PhaseSpec {
         /// Maximum displacement of a move step.
         maxdisp: f64,
     },
+    /// One closed-loop power-control pass (`minim-power`): every node
+    /// drives its uplink to `target_sinr` via the Foschini–Miljanic
+    /// iteration, and the converged powers are lowered to *endogenous*
+    /// set-range events (plus leaves for infeasible nodes when
+    /// `drop_infeasible`). The loop is deterministic — it consumes no
+    /// replicate randomness.
+    PowerControl {
+        /// Target SINR `γ` (linear, > 0).
+        target_sinr: f64,
+        /// Discrete power-ladder rungs; `0` = continuous loop,
+        /// otherwise ≥ 2 geometrically spaced levels.
+        ladder: usize,
+        /// Lower power-capped (infeasible) nodes to leave events
+        /// instead of clamping them at the range cap.
+        drop_infeasible: bool,
+        /// Receiver policy: `0` = every node uplinks to its nearest
+        /// neighbor (ad-hoc mesh); `k ≥ 1` = every `k`-th node is a
+        /// shared sink (the cellular near-far regime, where powers
+        /// couple hard and high targets go infeasible).
+        sink_every: usize,
+    },
 }
 
 /// What the per-point metrics mean.
@@ -257,6 +280,9 @@ pub enum SweepAxis {
     /// Sweep the `long_fraction` of a heterogeneous range
     /// distribution.
     LongFraction(Vec<f64>),
+    /// Sweep the `target_sinr` of every measured
+    /// [`PhaseSpec::PowerControl`] phase.
+    TargetSinr(Vec<f64>),
     /// No sweep: a single point at `x = 0`.
     Single,
 }
@@ -272,6 +298,7 @@ impl SweepAxis {
             SweepAxis::Rounds(_) => "RoundNo",
             SweepAxis::MixSteps(_) => "steps",
             SweepAxis::LongFraction(_) => "longfrac",
+            SweepAxis::TargetSinr(_) => "targetSINR",
             SweepAxis::Single => "x",
         }
     }
@@ -766,6 +793,20 @@ impl Scenario {
                         return spec_err("maxdisp must be non-negative");
                     }
                 }
+                PhaseSpec::PowerControl {
+                    target_sinr,
+                    ladder,
+                    ..
+                } => {
+                    if !(target_sinr.is_finite() && target_sinr > 0.0) {
+                        return spec_err("power-control target SINR must be positive");
+                    }
+                    if ladder == 1 {
+                        return spec_err(
+                            "power-control ladder needs >= 2 levels (or 0 for continuous)",
+                        );
+                    }
+                }
             }
         }
         let has = |pred: fn(&PhaseSpec) -> bool| spec.measured.iter().any(pred);
@@ -842,6 +883,17 @@ impl Scenario {
                     return spec_err(
                         "long-fraction sweep needs a heterogeneous range distribution",
                     );
+                }
+            }
+            SweepAxis::TargetSinr(vs) => {
+                if vs.is_empty() {
+                    return spec_err("sweep needs >= 1 value");
+                }
+                if vs.iter().any(|&v| !(v.is_finite() && v > 0.0)) {
+                    return spec_err("target SINRs must be positive");
+                }
+                if !has(|p| matches!(p, PhaseSpec::PowerControl { .. })) {
+                    return spec_err("target-SINR sweep needs a measured power-control phase");
                 }
             }
             SweepAxis::Single => {}
@@ -1013,6 +1065,18 @@ impl Scenario {
                     p
                 })
                 .collect(),
+            SweepAxis::TargetSinr(gs) => gs
+                .iter()
+                .map(|&g| {
+                    let mut p = plan(g);
+                    for phase in &mut p.measured {
+                        if let PhaseSpec::PowerControl { target_sinr, .. } = phase {
+                            *target_sinr = g;
+                        }
+                    }
+                    p
+                })
+                .collect(),
             SweepAxis::Single => vec![plan(0.0)],
         }
     }
@@ -1088,6 +1152,34 @@ fn generate_phase(
                 events.push(e);
             }
             vec![events]
+        }
+        PhaseSpec::PowerControl {
+            target_sinr,
+            ladder,
+            drop_infeasible,
+            sink_every,
+        } => {
+            // The closed loop reads the ghost geometry and emits the
+            // equilibrium as ordinary events — no randomness consumed,
+            // so determinism across strategies/workers is structural.
+            let mut cfg = PowerLoopConfig::for_range_scale(ranges.upper_bound().max(1.0));
+            cfg.target_sinr = target_sinr;
+            cfg.ladder = if ladder == 0 {
+                PowerLadder::Continuous
+            } else {
+                PowerLadder::Geometric { levels: ladder }
+            };
+            cfg.drop_infeasible = drop_infeasible;
+            cfg.receivers = if sink_every == 0 {
+                ReceiverPolicy::NearestNeighbor
+            } else {
+                ReceiverPolicy::Sinks { every: sink_every }
+            };
+            let outcome = PowerLoop::new(cfg).run(ghost, &[]);
+            for e in &outcome.events {
+                apply_topology(ghost, e);
+            }
+            vec![outcome.events]
         }
     }
 }
@@ -1252,6 +1344,18 @@ fn phase_to_json(p: &PhaseSpec) -> Json {
             ("leave_prob", Json::Num(leave_prob)),
             ("maxdisp", Json::Num(maxdisp)),
         ]),
+        PhaseSpec::PowerControl {
+            target_sinr,
+            ladder,
+            drop_infeasible,
+            sink_every,
+        } => Json::obj(vec![
+            ("phase", Json::Str("power-control".into())),
+            ("target_sinr", Json::Num(target_sinr)),
+            ("ladder", Json::Num(ladder as f64)),
+            ("drop_infeasible", Json::Bool(drop_infeasible)),
+            ("sink_every", Json::Num(sink_every as f64)),
+        ]),
     }
 }
 
@@ -1290,8 +1394,24 @@ fn phase_from_json(v: &Json) -> Result<PhaseSpec, SpecError> {
             leave_prob: get_num(v, "leave_prob")?,
             maxdisp: get_num(v, "maxdisp")?,
         }),
+        "power-control" => Ok(PhaseSpec::PowerControl {
+            target_sinr: get_num(v, "target_sinr")?,
+            ladder: get_usize(v, "ladder")?,
+            drop_infeasible: v
+                .get("drop_infeasible")
+                .map(|b| {
+                    b.as_bool()
+                        .ok_or_else(|| SpecError("drop_infeasible must be a boolean".into()))
+                })
+                .transpose()?
+                .unwrap_or(false),
+            sink_every: match v.get("sink_every") {
+                Some(_) => get_usize(v, "sink_every")?,
+                None => 0,
+            },
+        }),
         other => spec_err(format!(
-            "unknown phase {other:?} (join|power-raise|movement|mix)"
+            "unknown phase {other:?} (join|power-raise|movement|mix|power-control)"
         )),
     }
 }
@@ -1433,6 +1553,13 @@ impl ScenarioSpec {
             ]),
             SweepAxis::LongFraction(vs) => Json::obj(vec![
                 ("axis", Json::Str("long-fraction".into())),
+                (
+                    "values",
+                    Json::Arr(vs.iter().map(|&v| Json::Num(v)).collect()),
+                ),
+            ]),
+            SweepAxis::TargetSinr(vs) => Json::obj(vec![
+                ("axis", Json::Str("target-sinr".into())),
                 (
                     "values",
                     Json::Arr(vs.iter().map(|&v| Json::Num(v)).collect()),
@@ -1621,6 +1748,7 @@ impl ScenarioSpec {
                 "rounds" => SweepAxis::Rounds(get_usize(s, "max")?),
                 "mix-steps" => SweepAxis::MixSteps(values_usize(s)?),
                 "long-fraction" => SweepAxis::LongFraction(values_f64(s)?),
+                "target-sinr" => SweepAxis::TargetSinr(values_f64(s)?),
                 "single" => SweepAxis::Single,
                 other => return spec_err(format!("unknown sweep axis {other:?}")),
             };
@@ -1793,10 +1921,103 @@ mod tests {
         assert!(Scenario::new(rounds_needs_movement).is_err());
     }
 
+    fn power_spec() -> ScenarioSpec {
+        ScenarioSpec::new("power-lab")
+            .topology(TopologyFamily::Clustered {
+                clusters: 3,
+                spread: 4.0,
+            })
+            .base_phase(PhaseSpec::Join { count: 30 })
+            .measured_phase(PhaseSpec::PowerControl {
+                target_sinr: 4.0,
+                ladder: 0,
+                drop_infeasible: false,
+                sink_every: 6,
+            })
+            .measure(Measure::DeltaFromBase)
+            .sweep(SweepAxis::TargetSinr(vec![2.0, 8.0]))
+    }
+
+    #[test]
+    fn power_control_phase_emits_endogenous_events() {
+        let r = Scenario::new(power_spec()).unwrap().run(&tiny_cfg());
+        assert_eq!(r.points.len(), 2);
+        assert_eq!(r.x_label, "targetSINR");
+        // Every replicate executes the 30 base joins plus at least one
+        // endogenous set-range event per point (the loop always moves
+        // ranges off the sampled seed).
+        for p in &r.points {
+            assert!(p.events > 3 * 30, "endogenous events missing: {}", p.events);
+        }
+        // A harder target costs at least as many recodings.
+        for si in 0..r.strategies.len() {
+            assert!(
+                r.points[0].recodings[si].mean <= r.points[1].recodings[si].mean + 1e-9,
+                "strategy {si}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_control_results_are_worker_invariant() {
+        let scenario = Scenario::new(power_spec().measured_phase(PhaseSpec::PowerControl {
+            target_sinr: 6.0,
+            ladder: 8,
+            drop_infeasible: true,
+            sink_every: 6,
+        }))
+        .unwrap();
+        let a = scenario.run(&ExperimentConfig {
+            workers: 1,
+            ..tiny_cfg()
+        });
+        let b = scenario.run(&ExperimentConfig {
+            workers: 8,
+            ..tiny_cfg()
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn power_control_validation_rejects_bad_knobs() {
+        let bad_target = ScenarioSpec::new("x").measured_phase(PhaseSpec::PowerControl {
+            target_sinr: 0.0,
+            ladder: 0,
+            drop_infeasible: false,
+            sink_every: 6,
+        });
+        assert!(Scenario::new(bad_target).is_err());
+
+        let one_rung = ScenarioSpec::new("x").measured_phase(PhaseSpec::PowerControl {
+            target_sinr: 4.0,
+            ladder: 1,
+            drop_infeasible: false,
+            sink_every: 6,
+        });
+        assert!(Scenario::new(one_rung).is_err());
+
+        let sweep_without_phase = ScenarioSpec::new("x")
+            .measured_phase(PhaseSpec::Join { count: 5 })
+            .sweep(SweepAxis::TargetSinr(vec![4.0]));
+        assert!(Scenario::new(sweep_without_phase).is_err());
+
+        let negative_sweep = power_spec().sweep(SweepAxis::TargetSinr(vec![4.0, -1.0]));
+        assert!(Scenario::new(negative_sweep).is_err());
+    }
+
     #[test]
     fn spec_json_roundtrip_covers_every_variant() {
         let specs = [
             mix_spec(),
+            power_spec(),
+            ScenarioSpec::new("power-discrete")
+                .base_phase(PhaseSpec::Join { count: 10 })
+                .measured_phase(PhaseSpec::PowerControl {
+                    target_sinr: 6.5,
+                    ladder: 12,
+                    drop_infeasible: true,
+                    sink_every: 6,
+                }),
             ScenarioSpec::new("corridor")
                 .topology(TopologyFamily::Corridor {
                     walls: 3,

@@ -80,6 +80,7 @@ fn main() {
                     RadioConfig {
                         retune_slots: 10,
                         traffic_prob: 0.7,
+                        ..RadioConfig::default()
                     },
                     &mut rng,
                 );
@@ -99,6 +100,7 @@ fn main() {
                     RadioConfig {
                         retune_slots: 10,
                         traffic_prob: 0.7,
+                        ..RadioConfig::default()
                     },
                     &mut rng,
                 );

@@ -18,6 +18,10 @@
 //!   smallest-last) powering the BBB baseline.
 //! * [`net`] — the power-controlled ad-hoc network model and workloads.
 //! * [`core`] — the recoding strategies: Minim, CP, BBB.
+//! * [`power`] — the SINR physical layer: path-loss gain model,
+//!   Foschini–Miljanic closed-loop power control, and the driver that
+//!   lowers converged powers into endogenous set-range/join/leave
+//!   events.
 //! * [`proto`] — distributed message-passing realization of the
 //!   strategies with message/round accounting.
 //! * [`radio`] — slotted packet-level CDMA link simulation quantifying
@@ -51,6 +55,7 @@ pub use minim_geom as geom;
 pub use minim_graph as graph;
 pub use minim_matching as matching;
 pub use minim_net as net;
+pub use minim_power as power;
 pub use minim_proto as proto;
 pub use minim_radio as radio;
 pub use minim_sim as sim;

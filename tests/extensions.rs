@@ -248,6 +248,7 @@ fn radio_accounting_is_consistent_with_instrumentation() {
         RadioConfig {
             retune_slots: 6,
             traffic_prob: 0.4,
+            ..RadioConfig::default()
         },
         &mut rng,
     );

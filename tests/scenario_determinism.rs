@@ -29,7 +29,25 @@ fn lab_specs() -> Vec<ScenarioSpec> {
         presets::hetero_ranges().sweep(SweepAxis::LongFraction(vec![0.0, 0.5])),
         presets::clustered_churn().sweep(SweepAxis::MixSteps(vec![25])),
         presets::corridor_joins().sweep(SweepAxis::JoinCount(vec![25])),
+        // The power-control regimes: the closed loop's endogenous
+        // set-range (and, with admission drops, leave) events must be
+        // bit-identical across workers too — continuous and discrete
+        // ladders both.
+        shrink_base_join(presets::near_far(), 30).sweep(SweepAxis::TargetSinr(vec![2.0, 8.0])),
+        presets::interference_clusters().sweep(SweepAxis::JoinCount(vec![25])),
     ]
+}
+
+/// A preset with its base join phase shrunk to `count` (keeps the
+/// determinism suite fast without changing the phase structure).
+fn shrink_base_join(mut spec: ScenarioSpec, count: usize) -> ScenarioSpec {
+    use minim::sim::PhaseSpec;
+    for phase in &mut spec.base {
+        if let PhaseSpec::Join { count: c } = phase {
+            *c = count;
+        }
+    }
+    spec
 }
 
 #[test]
