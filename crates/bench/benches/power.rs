@@ -10,18 +10,28 @@
 //!   interferer lists exist for);
 //! * **events**: end-to-end endogenous events per second — the loop's
 //!   emitted set-range stream applied through a fresh Minim strategy,
-//!   i.e. what a power-control measured phase costs the scenario lab.
+//!   i.e. what a power-control measured phase costs the scenario lab;
+//! * **churn** (incremental vs rebuild, N up to 16k): the same
+//!   exogenous join/leave/move stream driven through a warm
+//!   [`PowerSession`] (field delta-patching + active-set re-settles)
+//!   and through the from-scratch path (full field rebuild + cold
+//!   sweep per slice), reporting the speedup explicitly;
+//! * **active-set** (vs full sweep): on a static field, the full
+//!   synchronous sweep vs cold event-driven relaxation, plus the warm
+//!   per-event resettle cost after a single move patch.
 //!
 //! Run via `cargo bench -p minim-bench --bench power`; CI uploads the
 //! JSON as an artifact next to `BENCH_events.json`. Override the
-//! sweep with `MINIM_BENCH_POWER_NS=500,2000` and the output path
-//! with `MINIM_BENCH_POWER_OUT=path.json`.
+//! sweeps with `MINIM_BENCH_POWER_NS=500,2000` /
+//! `MINIM_BENCH_POWER_CHURN_NS=1000,16000` and the output path with
+//! `MINIM_BENCH_POWER_OUT=path.json`.
 
 use minim_core::Minim;
 use minim_geom::{sample, Point, Rect};
-use minim_net::workload::{Placement, RangeDist};
+use minim_net::event::{apply_topology, Event};
+use minim_net::workload::{MixWorkload, Placement, RangeDist};
 use minim_net::{Network, NodeConfig};
-use minim_power::{PowerLadder, PowerLoop, PowerLoopConfig};
+use minim_power::{LoopScratch, PowerLadder, PowerLoop, PowerLoopConfig, PowerSession, Verdict};
 use minim_sim::json::Json;
 use minim_sim::runner::run_events;
 use rand::rngs::StdRng;
@@ -60,6 +70,217 @@ fn loop_config(ladder: PowerLadder) -> PowerLoopConfig {
 fn median(mut times: Vec<f64>) -> f64 {
     times.sort_by(f64::total_cmp);
     times[times.len() / 2]
+}
+
+/// One pre-lowered churn step: the session API wants explicit slot
+/// ids, so joins carry the id the shared ghost network assigned.
+enum ChurnStep {
+    Join(u32, Point, f64),
+    Leave(u32),
+    Move(u32, Point),
+    SetRange(u32, f64),
+}
+
+/// Generates `slices × per_slice` exogenous churn steps against a
+/// ghost clone of `net` (corrections are endogenous and path-specific,
+/// so only the exogenous stream is shared between the two arms).
+fn churn_stream(net: &Network, slices: usize, per_slice: usize, seed: u64) -> Vec<Vec<ChurnStep>> {
+    let arena = Rect::new(0.0, 0.0, 4000.0, 4000.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workload = MixWorkload {
+        steps: slices * per_slice,
+        join_prob: 0.3,
+        leave_prob: 0.3,
+        maxdisp: 25.0,
+        placement: Placement::Uniform { arena },
+        ranges: RangeDist::paper(),
+    };
+    let mut ghost = net.clone();
+    (0..slices)
+        .map(|_| {
+            (0..per_slice)
+                .map(|_| {
+                    let e = workload.next_event(&ghost, &mut rng);
+                    let step = match &e {
+                        Event::Join { cfg } => {
+                            ChurnStep::Join(ghost.peek_next_id().0, cfg.pos, cfg.range)
+                        }
+                        Event::Leave { node } => ChurnStep::Leave(node.0),
+                        Event::Move { node, to } => ChurnStep::Move(node.0, *to),
+                        Event::SetRange { node, range } => ChurnStep::SetRange(node.0, *range),
+                    };
+                    apply_topology(&mut ghost, &e);
+                    step
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Incremental vs rebuild on the same exogenous churn stream. The
+/// incremental arm patches a warm [`PowerSession`] per event and
+/// re-settles per slice; the rebuild arm replays the slice onto a
+/// network and runs the from-scratch loop (receiver recompute + field
+/// rebuild + cold sweep) at each slice boundary.
+fn churn_arm(n: usize, seed: u64, results: &mut Vec<Json>) {
+    let slices = 6usize;
+    let per_slice = 16usize;
+    let net0 = base_net(n, seed);
+    let stream = churn_stream(&net0, slices, per_slice, seed ^ 0xC0DE);
+    let cfg = loop_config(PowerLadder::Continuous);
+
+    // Incremental: warm the session to the base equilibrium, then
+    // time patch + settle across the whole stream.
+    let mut session = PowerSession::new(cfg, &net0);
+    let (_, base_report) = session.settle();
+    let mut relax_updates = base_report.updates;
+    let t = Instant::now();
+    let mut verdicts_ok = true;
+    for slice in &stream {
+        for step in slice {
+            match *step {
+                ChurnStep::Join(id, pos, range) => session.apply_join(id, pos, range),
+                ChurnStep::Leave(id) => session.apply_leave(id),
+                ChurnStep::Move(id, to) => session.apply_move(id, to),
+                ChurnStep::SetRange(id, range) => session.note_range(id, range),
+            }
+        }
+        let (_, report) = session.settle();
+        relax_updates += report.updates;
+        verdicts_ok &= report.verdict != Verdict::Diverging;
+    }
+    let inc_secs = t.elapsed().as_secs_f64();
+
+    // Rebuild: same stream replayed onto a network, full loop per
+    // slice (scratch reused, so the arm pays rebuild — not allocator —
+    // costs). Warm the equilibrium once outside the timer, like the
+    // session did.
+    let lp = PowerLoop::new(cfg);
+    let mut scratch = LoopScratch::new();
+    let mut net = net0;
+    lp.run_reusing(&net, &[], &mut scratch);
+    let mut sweep_link_updates = 0u64;
+    let t = Instant::now();
+    for slice in &stream {
+        for step in slice {
+            let e = match *step {
+                ChurnStep::Join(_, pos, range) => Event::Join {
+                    cfg: NodeConfig::new(pos, range),
+                },
+                ChurnStep::Leave(id) => Event::Leave {
+                    node: minim_graph::NodeId(id),
+                },
+                ChurnStep::Move(id, to) => Event::Move {
+                    node: minim_graph::NodeId(id),
+                    to,
+                },
+                ChurnStep::SetRange(id, range) => Event::SetRange {
+                    node: minim_graph::NodeId(id),
+                    range,
+                },
+            };
+            apply_topology(&mut net, &e);
+        }
+        let out = lp.run_reusing(&net, &[], &mut scratch);
+        sweep_link_updates += (out.report.links * out.report.iterations) as u64;
+    }
+    let reb_secs = t.elapsed().as_secs_f64();
+
+    let events = (slices * per_slice) as f64;
+    let speedup = reb_secs / inc_secs;
+    // The incremental engine's effective throughput in full-sweep
+    // units: the link updates the rebuild arm needed for the same
+    // stream, per incremental second.
+    let equiv_updates_per_sec = sweep_link_updates as f64 / inc_secs;
+    println!(
+        "churn/N={n}: incremental {:>8.4}s vs rebuild {:>8.4}s over {} events ({} slices) | {speedup:>6.1}x speedup | {equiv_updates_per_sec:>12.0} sweep-equivalent link-updates/s | {} relax updates vs {} sweep updates",
+        inc_secs, reb_secs, events, slices, relax_updates, sweep_link_updates,
+    );
+    results.push(Json::obj(vec![
+        ("arm", Json::Str("incremental-vs-rebuild".to_string())),
+        ("n", Json::Num(n as f64)),
+        ("slices", Json::Num(slices as f64)),
+        ("events", Json::Num(events)),
+        ("incremental_seconds", Json::Num(inc_secs)),
+        ("rebuild_seconds", Json::Num(reb_secs)),
+        ("speedup", Json::Num(speedup)),
+        ("relax_updates", Json::Num(relax_updates as f64)),
+        ("sweep_link_updates", Json::Num(sweep_link_updates as f64)),
+        ("link_updates_per_sec", Json::Num(equiv_updates_per_sec)),
+        ("settled", Json::Bool(verdicts_ok)),
+    ]));
+}
+
+/// Full synchronous sweep vs event-driven relaxation on a static
+/// field, plus the warm per-event resettle after a single move.
+fn active_set_arm(n: usize, seed: u64, results: &mut Vec<Json>) {
+    use minim_power::{relax, run_with, ControlScratch};
+    let net = base_net(n, seed);
+    let cfg = loop_config(PowerLadder::Continuous);
+    let ctrl = cfg.control();
+    let mut session = PowerSession::new(cfg, &net);
+    let reps = if n >= 4_000 { 2 } else { 3 };
+
+    let mut sweep = ControlScratch::new();
+    let first = run_with(session.field(), &ctrl, &mut sweep);
+    let sweep_secs = median(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                let r = run_with(session.field(), &ctrl, &mut sweep);
+                assert_eq!(r.iterations, first.iterations);
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    let sweep_updates = (session.field().live_links() * first.iterations) as u64;
+
+    let mut active = ControlScratch::new();
+    let cold = relax(session.field(), &ctrl, &mut active, false);
+    let relax_secs = median(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                let r = relax(session.field(), &ctrl, &mut active, false);
+                assert_eq!(r.updates, cold.updates);
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+
+    // Warm per-event: one node oscillates, each settle re-relaxes from
+    // the previous equilibrium over the patched rows only.
+    session.settle();
+    let mover = (0..n as u32)
+        .find(|&i| session.field().is_live(i as usize))
+        .expect("live node");
+    let home = session
+        .field()
+        .position_of(mover as usize)
+        .expect("mover position");
+    let warm_events = 40usize;
+    let t = Instant::now();
+    for k in 0..warm_events {
+        let dx = if k % 2 == 0 { 12.0 } else { 0.0 };
+        session.apply_move(mover, Point::new(home.x + dx, home.y));
+        session.settle();
+    }
+    let warm_secs = t.elapsed().as_secs_f64() / warm_events as f64;
+
+    println!(
+        "active-set/N={n}: sweep {:>8.4}s ({} updates) | cold relax {:>8.4}s ({} updates) | warm settle {:>10.6}s/event ({:>6.1}x vs sweep)",
+        sweep_secs, sweep_updates, relax_secs, cold.updates, warm_secs, sweep_secs / warm_secs,
+    );
+    results.push(Json::obj(vec![
+        ("arm", Json::Str("active-set-vs-full-sweep".to_string())),
+        ("n", Json::Num(n as f64)),
+        ("sweep_seconds", Json::Num(sweep_secs)),
+        ("sweep_updates", Json::Num(sweep_updates as f64)),
+        ("relax_seconds", Json::Num(relax_secs)),
+        ("relax_updates", Json::Num(cold.updates as f64)),
+        ("warm_event_seconds", Json::Num(warm_secs)),
+        ("warm_speedup_vs_sweep", Json::Num(sweep_secs / warm_secs)),
+    ]));
 }
 
 fn main() {
@@ -143,8 +364,21 @@ fn main() {
         }
     }
 
+    let churn_ns: Vec<usize> = std::env::var("MINIM_BENCH_POWER_CHURN_NS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("MINIM_BENCH_POWER_CHURN_NS: bad N"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1_000, 4_000, 16_000]);
+    for &n in &churn_ns {
+        churn_arm(n, seed, &mut results);
+        active_set_arm(n, seed, &mut results);
+    }
+
     let doc = Json::obj(vec![
-        ("schema", Json::Str("minim-bench-power/1".to_string())),
+        ("schema", Json::Str("minim-bench-power/2".to_string())),
         ("results", Json::Arr(results)),
     ]);
     std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_power.json");

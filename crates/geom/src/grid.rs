@@ -350,6 +350,69 @@ impl SpatialGrid {
         out
     }
 
+    /// The indexed point nearest to `center` for which `admissible`
+    /// holds, or `None` when no admissible entry exists. Ties break
+    /// toward the lower id, so the answer is deterministic and matches
+    /// a lowest-id-first linear scan.
+    ///
+    /// Runs an expanding-radius search (doubling from one cell side):
+    /// [`SpatialGrid::for_each_within`] is exact, so the first radius
+    /// that reports any admissible entry already contains the global
+    /// optimum — everything outside is strictly farther. Expected
+    /// O(1) per query when the nearest admissible entry is within a
+    /// few cells; degrades to a full scan only when the grid is nearly
+    /// empty of admissible points.
+    pub fn nearest_where<F: FnMut(u32, &Point) -> bool>(
+        &self,
+        center: &Point,
+        mut admissible: F,
+    ) -> Option<(u32, Point)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut radius = self.cell;
+        loop {
+            let mut best: Option<(u32, Point, f64)> = None;
+            self.for_each_within(center, radius, |id, p| {
+                if !admissible(id, &p) {
+                    return;
+                }
+                let d2 = p.dist2(center);
+                let better = match best {
+                    None => true,
+                    Some((bid, _, bd2)) => d2 < bd2 || (d2 == bd2 && id < bid),
+                };
+                if better {
+                    best = Some((id, p, d2));
+                }
+            });
+            if let Some((id, p, _)) = best {
+                // Reported ⇒ within `radius`; anything unscanned is
+                // farther than `radius`, so this is the global best.
+                return Some((id, p));
+            }
+            // Nothing admissible yet: stop once the query range has
+            // covered every cell that holds an entry.
+            let min_cx = cell_coord(center.x - radius, self.cell);
+            let max_cx = cell_coord(center.x + radius, self.cell);
+            let min_cy = cell_coord(center.y - radius, self.cell);
+            let max_cy = cell_coord(center.y + radius, self.cell);
+            let t = &self.table;
+            let covers_window = t.width == 0
+                || (min_cx <= t.origin.0
+                    && max_cx >= t.origin.0 + t.width - 1
+                    && min_cy <= t.origin.1
+                    && max_cy >= t.origin.1 + t.height - 1);
+            let covers_overflow = t.overflow.keys().all(|&(cx, cy)| {
+                (min_cx..=max_cx).contains(&cx) && (min_cy..=max_cy).contains(&cy)
+            });
+            if covers_window && covers_overflow {
+                return None;
+            }
+            radius *= 2.0;
+        }
+    }
+
     /// Iterates over all `(id, position)` entries in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, Point)> + '_ {
         self.entries
@@ -514,7 +577,78 @@ mod tests {
         }
     }
 
+    #[test]
+    fn nearest_where_finds_global_best_across_rings() {
+        let mut g = SpatialGrid::new(1.0);
+        g.insert(1, Point::new(0.2, 0.2));
+        g.insert(2, Point::new(50.0, 0.0));
+        g.insert(3, Point::new(51.0, 0.0));
+        // Nearest overall.
+        assert_eq!(
+            g.nearest_where(&Point::new(0.0, 0.0), |_, _| true),
+            Some((1, Point::new(0.2, 0.2)))
+        );
+        // Excluding the near one forces the search out many rings.
+        assert_eq!(
+            g.nearest_where(&Point::new(0.0, 0.0), |id, _| id != 1),
+            Some((2, Point::new(50.0, 0.0)))
+        );
+        // Nothing admissible terminates with None.
+        assert_eq!(g.nearest_where(&Point::new(0.0, 0.0), |_, _| false), None);
+        assert_eq!(
+            SpatialGrid::new(1.0).nearest_where(&Point::new(0.0, 0.0), |_, _| true),
+            None
+        );
+    }
+
+    #[test]
+    fn nearest_where_breaks_ties_toward_lower_id() {
+        let mut g = SpatialGrid::new(4.0);
+        g.insert(9, Point::new(3.0, 0.0));
+        g.insert(4, Point::new(-3.0, 0.0));
+        g.insert(7, Point::new(0.0, 3.0));
+        assert_eq!(
+            g.nearest_where(&Point::new(0.0, 0.0), |_, _| true)
+                .map(|(id, _)| id),
+            Some(4)
+        );
+    }
+
     proptest! {
+        #[test]
+        fn nearest_where_matches_linear_scan(
+            pts in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..50),
+            qx in 0.0..100.0f64, qy in 0.0..100.0f64,
+            cell in 0.5..40.0f64,
+            modulus in 1u32..4,
+        ) {
+            let mut g = SpatialGrid::new(cell);
+            for (i, &(x, y)) in pts.iter().enumerate() {
+                g.insert(i as u32, Point::new(x, y));
+            }
+            let center = Point::new(qx, qy);
+            let admissible = |id: u32| id.is_multiple_of(modulus);
+            let mut expect: Option<(u32, f64)> = None;
+            for (i, &(x, y)) in pts.iter().enumerate() {
+                let id = i as u32;
+                if !admissible(id) {
+                    continue;
+                }
+                let d2 = Point::new(x, y).dist2(&center);
+                let better = match expect {
+                    None => true,
+                    Some((_, bd2)) => d2 < bd2,
+                };
+                if better {
+                    expect = Some((id, d2));
+                }
+            }
+            prop_assert_eq!(
+                g.nearest_where(&center, |id, _| admissible(id)).map(|(id, _)| id),
+                expect.map(|(id, _)| id)
+            );
+        }
+
         #[test]
         fn matches_brute_force(
             pts in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 0..60),

@@ -157,15 +157,25 @@ impl SegmentGrid {
     /// gain model in `minim-power` charges a per-wall penetration
     /// loss, so it needs the count. Unlike `blocked`, candidates must
     /// be deduplicated (a wall sharing several cells with the sight
-    /// line may be probed repeatedly), so the query allocates a small
-    /// candidate buffer; it runs on the power-loop's precompute path,
-    /// not the steady-state rewire path.
+    /// line may be probed repeatedly), so the query fills a small
+    /// candidate buffer — this convenience form allocates it fresh;
+    /// hot paths (the incremental SINR field patches gains on the
+    /// steady-state rewire path) pass a recycled buffer to
+    /// [`SegmentGrid::crossings_into`] instead.
     pub fn crossings(&self, from: &Point, to: &Point) -> usize {
+        self.crossings_into(from, to, &mut Vec::new())
+    }
+
+    /// [`SegmentGrid::crossings`] with a caller-provided candidate
+    /// buffer: allocation-free once `candidates` has warmed to the
+    /// local wall density.
+    pub fn crossings_into(&self, from: &Point, to: &Point, candidates: &mut Vec<u32>) -> usize {
         if self.walls.len() <= LINEAR_SCAN_CUTOFF {
             return line_of_sight_crossings(&self.walls, from, to);
         }
         let sight = Segment::new(*from, *to);
-        let mut candidates: Vec<u32> = self.broad.clone();
+        candidates.clear();
+        candidates.extend_from_slice(&self.broad);
         let mut probes = 0usize;
         let fits = for_each_supercover_cell(&sight, self.cell, |c| {
             probes += 1;
@@ -185,8 +195,8 @@ impl SegmentGrid {
         candidates.sort_unstable();
         candidates.dedup();
         candidates
-            .into_iter()
-            .filter(|&i| self.walls[i as usize].blocks(from, to))
+            .iter()
+            .filter(|&&i| self.walls[i as usize].blocks(from, to))
             .count()
     }
 }

@@ -10,22 +10,35 @@
 //! where `I_i(p)` is the noise-plus-interference at `i`'s receiver.
 //! The right-hand side is a *standard interference function*
 //! (positive, monotone, scalable), so with the max-power clamp the
-//! synchronous iteration converges from any starting point; started
-//! from the minimum power it converges **monotonically from below**,
-//! which is what [`run`] does and what the tests pin.
+//! iteration converges from any starting point — synchronously
+//! ([`run_with`], the classic all-links sweep) or **asynchronously**
+//! ([`relax`], the active-set worklist that only re-updates links
+//! whose interference actually changed; Yates' framework covers
+//! totally asynchronous update orders, so both land on the same
+//! unique fixed point). Started from the minimum power the iteration
+//! converges monotonically from below, which is what [`run`] does and
+//! what the tests pin.
 //!
 //! Real handsets cannot emit arbitrary powers: [`PowerLadder`]
 //! optionally quantizes every update **up** to the next discrete
 //! level (ceiling quantization keeps the iteration standard and makes
 //! the state space finite, so discrete runs reach an exact fixed
-//! point). Feasibility is read off the fixed point: if every link
-//! meets its target the instance is [`Feasibility::Converged`]; if
-//! some links sit at the power cap below target the instance is
-//! overloaded ([`Feasibility::PowerCapped`] names them — the
-//! textbook near-far outcome); if the iteration budget runs out
-//! before the fixed point the instance is [`Feasibility::Diverging`].
+//! point). On a discrete ladder the quantized update map is monotone
+//! on a finite lattice: any update order started from the all-minimum
+//! vector climbs to the **least** fixed point, so the active-set
+//! relaxation reaches the exact sweep result — but a warm start above
+//! that fixed point need not descend to it, which is why warm
+//! restarts are a continuous-ladder tool (see [`relax`]).
+//!
+//! Feasibility is read off the fixed point: if every link meets its
+//! target the instance is [`Feasibility::Converged`]; if some links
+//! sit at the power cap below target the instance is overloaded
+//! ([`Feasibility::PowerCapped`] names them — the textbook near-far
+//! outcome); if the update budget runs out before the fixed point the
+//! instance is [`Feasibility::Diverging`].
 
 use crate::sinr::SinrField;
+use std::collections::VecDeque;
 
 /// The discrete transmit-power levels a radio can emit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,7 +108,9 @@ pub struct ControlConfig {
     /// Relative-change convergence tolerance for continuous ladders
     /// (discrete ladders stop on exact fixed points).
     pub tol: f64,
-    /// Iteration budget; exhausting it is [`Feasibility::Diverging`].
+    /// Iteration budget: synchronous sweeps for [`run_with`], sweep
+    /// *equivalents* (budget × live links single-link updates) for
+    /// [`relax`]. Exhausting it is [`Feasibility::Diverging`].
     pub max_iters: usize,
 }
 
@@ -112,6 +127,13 @@ impl ControlConfig {
             tol: 1e-6,
             max_iters: 200,
         }
+    }
+
+    /// The power every link starts from: `min_power` snapped onto the
+    /// ladder.
+    pub fn start_power(&self) -> f64 {
+        self.ladder
+            .quantize_up(self.min_power, self.min_power, self.max_power)
     }
 
     /// Asserts the configuration is runnable.
@@ -154,7 +176,7 @@ pub enum Feasibility {
         /// Link indices stuck at the cap below target, ascending.
         capped: Vec<usize>,
     },
-    /// The iteration budget ran out before a fixed point (continuous
+    /// The update budget ran out before a fixed point (continuous
     /// loops approach infeasible fixed points asymptotically; this is
     /// the in-budget divergence signal).
     Diverging,
@@ -167,13 +189,26 @@ impl Feasibility {
     }
 }
 
+/// [`Feasibility`] without the capped-link payload — the `Copy`
+/// verdict scratch-based runs return; the capped indices live in
+/// [`ControlScratch::capped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Fixed point, every live link at or above target.
+    Converged,
+    /// Fixed point with links pinned at the cap below target.
+    PowerCapped,
+    /// Update budget exhausted before a fixed point.
+    Diverging,
+}
+
 /// The result of [`run`]: final powers, per-link SINRs, and the
 /// feasibility verdict.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ControlOutcome {
-    /// Final power vector (one entry per link).
+    /// Final power vector (one entry per link slot).
     pub powers: Vec<f64>,
-    /// SINR of every link under `powers`.
+    /// SINR of every link under `powers` (0 for absent slots).
     pub sinrs: Vec<f64>,
     /// Synchronous iterations executed.
     pub iterations: usize,
@@ -181,43 +216,184 @@ pub struct ControlOutcome {
     pub feasibility: Feasibility,
 }
 
-/// Runs the synchronous Foschini–Miljanic iteration on `field` from
-/// the all-minimum power vector. See the module docs for the update
-/// rule and the feasibility classification.
+/// Report of one [`run_with`] sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Synchronous iterations executed.
+    pub iterations: usize,
+    /// How the run ended.
+    pub verdict: Verdict,
+}
+
+/// Report of one [`relax`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelaxReport {
+    /// Single-link power writes performed (the active-set analogue of
+    /// `iterations × n`; the whole point is that this stays small when
+    /// little changed).
+    pub updates: u64,
+    /// How the run ended.
+    pub verdict: Verdict,
+}
+
+/// Reusable control-loop state: power/SINR slabs, the active-set
+/// worklist, and the capped-link list. Create once, feed to
+/// [`run_with`] / [`relax`] forever — steady-state runs allocate
+/// nothing.
+///
+/// `powers` persists across calls; that is what makes warm-started
+/// relaxation possible. The slabs are indexed by link id and only
+/// ever grow.
+#[derive(Debug, Clone, Default)]
+pub struct ControlScratch {
+    /// Current power vector (one entry per link slot). Warm state:
+    /// survives across calls.
+    pub powers: Vec<f64>,
+    /// SINRs under `powers` as of the last classification.
+    pub sinrs: Vec<f64>,
+    /// Live links pinned at the cap below target as of the last
+    /// classification, ascending.
+    pub capped: Vec<u32>,
+    /// Double buffer for the synchronous sweep.
+    next: Vec<f64>,
+    /// Active-set FIFO.
+    queue: VecDeque<u32>,
+    /// Membership flags for `queue`.
+    queued: Vec<bool>,
+}
+
+impl ControlScratch {
+    /// An empty scratch (slabs grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the slabs to `n` slots, initializing new power entries to
+    /// `start`. Existing entries are untouched (warm state).
+    pub fn fit(&mut self, n: usize, start: f64) {
+        if self.powers.len() < n {
+            self.powers.resize(n, start);
+        }
+        if self.next.len() < n {
+            self.next.resize(n, 0.0);
+        }
+        if self.queued.len() < n {
+            self.queued.resize(n, false);
+        }
+    }
+
+    /// Enqueues link `i` for the next [`relax`] call (idempotent).
+    /// Seed the worklist with the field's dirty rows before a warm
+    /// relaxation.
+    pub fn mark(&mut self, i: u32) {
+        let iu = i as usize;
+        if iu >= self.queued.len() {
+            self.queued.resize(iu + 1, false);
+        }
+        if !self.queued[iu] {
+            self.queued[iu] = true;
+            self.queue.push_back(i);
+        }
+    }
+
+    /// Converts a scratch-based verdict into the owning
+    /// [`Feasibility`] (cloning the capped list).
+    pub fn feasibility(&self, verdict: Verdict) -> Feasibility {
+        match verdict {
+            Verdict::Converged => Feasibility::Converged,
+            Verdict::PowerCapped => Feasibility::PowerCapped {
+                capped: self.capped.iter().map(|&i| i as usize).collect(),
+            },
+            Verdict::Diverging => Feasibility::Diverging,
+        }
+    }
+}
+
+/// One Foschini–Miljanic update for link `i` under the current
+/// powers: the clamped, ladder-quantized power request.
+#[inline]
+fn fm_update(field: &SinrField, cfg: &ControlConfig, powers: &[f64], i: usize) -> f64 {
+    let g = field.direct_gain(i);
+    let desired = if g > 0.0 {
+        cfg.target_sinr * field.interference(powers, i) / (field.budget().processing_gain * g)
+    } else {
+        // Dead direct path: no finite power serves the link.
+        f64::INFINITY
+    };
+    let clamped = desired.clamp(cfg.min_power, cfg.max_power);
+    cfg.ladder
+        .quantize_up(clamped, cfg.min_power, cfg.max_power)
+}
+
+/// Classifies the fixed point in `scratch.powers`: fills
+/// `scratch.sinrs` and `scratch.capped` and returns `Converged` or
+/// `PowerCapped` (callers that ran out of budget override with
+/// `Diverging`).
+fn classify(field: &SinrField, cfg: &ControlConfig, scratch: &mut ControlScratch) -> Verdict {
+    field.sinrs_into(&scratch.powers, &mut scratch.sinrs);
+    let gamma = cfg.target_sinr;
+    // Meeting the target "within tolerance": one more tolerance-sized
+    // power step would clear it.
+    let met = |sinr: f64| sinr >= gamma * (1.0 - 4.0 * cfg.tol);
+    scratch.capped.clear();
+    let mut all_met = true;
+    for i in 0..field.len() {
+        if !field.is_live(i) || met(scratch.sinrs[i]) {
+            continue;
+        }
+        all_met = false;
+        if scratch.powers[i] >= cfg.max_power * (1.0 - 1e-12) {
+            scratch.capped.push(i as u32);
+        }
+    }
+    if all_met {
+        return Verdict::Converged;
+    }
+    if scratch.capped.is_empty() {
+        // At a fixed point an unmet link is necessarily at the cap;
+        // keep the classification robust anyway.
+        for i in 0..field.len() {
+            if field.is_live(i) && !met(scratch.sinrs[i]) {
+                scratch.capped.push(i as u32);
+            }
+        }
+    }
+    Verdict::PowerCapped
+}
+
+/// The synchronous Foschini–Miljanic sweep into caller-owned scratch:
+/// every live link updates from the previous iterate each round,
+/// starting from the all-minimum vector. Allocation-free once
+/// `scratch` is warm. Absent slots keep power `start_power` and
+/// report SINR 0.
 ///
 /// # Panics
 /// Panics if `cfg` fails [`ControlConfig::validate`].
-pub fn run(field: &SinrField, cfg: &ControlConfig) -> ControlOutcome {
+pub fn run_with(
+    field: &SinrField,
+    cfg: &ControlConfig,
+    scratch: &mut ControlScratch,
+) -> SweepReport {
     cfg.validate();
     let n = field.len();
-    let start = cfg
-        .ladder
-        .quantize_up(cfg.min_power, cfg.min_power, cfg.max_power);
-    let mut powers = vec![start; n];
-    let mut next = vec![0.0; n];
+    let start = cfg.start_power();
+    scratch.fit(n, start);
+    scratch.powers.iter_mut().for_each(|p| *p = start);
     let mut iterations = 0;
     let mut fixed_point = false;
-    let gamma = cfg.target_sinr;
-    let budget = field.budget();
     while iterations < cfg.max_iters {
         iterations += 1;
         let mut max_rel = 0.0f64;
         for i in 0..n {
-            let g = field.direct_gain(i);
-            let desired = if g > 0.0 {
-                gamma * field.interference(&powers, i) / (budget.processing_gain * g)
-            } else {
-                // Dead direct path: no finite power serves the link.
-                f64::INFINITY
-            };
-            let clamped = desired.clamp(cfg.min_power, cfg.max_power);
-            let q = cfg
-                .ladder
-                .quantize_up(clamped, cfg.min_power, cfg.max_power);
-            max_rel = max_rel.max((q - powers[i]).abs() / powers[i]);
-            next[i] = q;
+            if !field.is_live(i) {
+                scratch.next[i] = scratch.powers[i];
+                continue;
+            }
+            let q = fm_update(field, cfg, &scratch.powers, i);
+            max_rel = max_rel.max((q - scratch.powers[i]).abs() / scratch.powers[i]);
+            scratch.next[i] = q;
         }
-        std::mem::swap(&mut powers, &mut next);
+        std::mem::swap(&mut scratch.powers, &mut scratch.next);
         let done = match cfg.ladder {
             PowerLadder::Continuous => max_rel <= cfg.tol,
             // Discrete state space: stop only on the exact fixed point.
@@ -228,34 +404,131 @@ pub fn run(field: &SinrField, cfg: &ControlConfig) -> ControlOutcome {
             break;
         }
     }
-    let sinrs = field.sinrs(&powers);
-    // Meeting the target "within tolerance": one more tolerance-sized
-    // power step would clear it.
-    let met = |i: usize| sinrs[i] >= gamma * (1.0 - 4.0 * cfg.tol);
-    let feasibility = if !fixed_point {
-        Feasibility::Diverging
-    } else {
-        let capped: Vec<usize> = (0..n)
-            .filter(|&i| !met(i) && powers[i] >= cfg.max_power * (1.0 - 1e-12))
-            .collect();
-        if capped.is_empty() && (0..n).all(met) {
-            Feasibility::Converged
-        } else {
-            // At a fixed point an unmet link is necessarily at the
-            // cap; keep the classification robust anyway.
-            let capped = if capped.is_empty() {
-                (0..n).filter(|&i| !met(i)).collect()
-            } else {
-                capped
-            };
-            Feasibility::PowerCapped { capped }
-        }
-    };
-    ControlOutcome {
-        powers,
-        sinrs,
+    let verdict = classify(field, cfg, scratch);
+    SweepReport {
         iterations,
-        feasibility,
+        verdict: if fixed_point {
+            verdict
+        } else {
+            Verdict::Diverging
+        },
+    }
+}
+
+/// The active-set (asynchronous) Foschini–Miljanic relaxation: a FIFO
+/// worklist of links whose interference changed since their last
+/// update, instead of sweeping all N links per round. Allocation-free
+/// once `scratch` is warm.
+///
+/// * `warm == false`: resets every power to the start rung and
+///   enqueues every live link — the event-driven equivalent of
+///   [`run_with`] from cold. On a continuous ladder both converge to
+///   the same (unique) fixed point within tolerance; on a discrete
+///   ladder both climb to the exact least fixed point.
+/// * `warm == true`: keeps `scratch.powers` (the previous
+///   equilibrium) and relaxes only from the links already marked via
+///   [`ControlScratch::mark`] — seed it with the field's dirty rows
+///   ([`SinrField::take_dirty`]). Sound for **continuous** ladders
+///   (unique fixed point, convergence from any start); a discrete
+///   warm start above the least fixed point would stay there, so
+///   discrete sessions restart cold instead.
+///
+/// A link whose recomputed power moves by more than `cfg.tol`
+/// (relative; any change at all on discrete ladders) writes the new
+/// power and enqueues exactly the links that hear it — the transposed
+/// interferer index answers that in O(row). The update budget is
+/// `cfg.max_iters × live links`; exhausting it drains the queue and
+/// reports [`Verdict::Diverging`].
+///
+/// # Panics
+/// Panics if `cfg` fails [`ControlConfig::validate`].
+pub fn relax(
+    field: &SinrField,
+    cfg: &ControlConfig,
+    scratch: &mut ControlScratch,
+    warm: bool,
+) -> RelaxReport {
+    cfg.validate();
+    let n = field.len();
+    let start = cfg.start_power();
+    scratch.fit(n, start);
+    if !warm {
+        scratch.powers.iter_mut().for_each(|p| *p = start);
+        for i in scratch.queue.drain(..) {
+            scratch.queued[i as usize] = false;
+        }
+        for i in 0..n {
+            if field.is_live(i) {
+                scratch.queued[i] = true;
+                scratch.queue.push_back(i as u32);
+            }
+        }
+    }
+    let max_updates = (cfg.max_iters as u64) * (field.live_links().max(1) as u64);
+    let mut updates: u64 = 0;
+    let mut exhausted = false;
+    while let Some(i) = scratch.queue.pop_front() {
+        let iu = i as usize;
+        scratch.queued[iu] = false;
+        if !field.is_live(iu) {
+            continue;
+        }
+        let p = scratch.powers[iu];
+        let q = fm_update(field, cfg, &scratch.powers, iu);
+        let changed = match cfg.ladder {
+            PowerLadder::Continuous => (q - p).abs() / p > cfg.tol,
+            PowerLadder::Geometric { .. } => q != p,
+        };
+        if !changed {
+            continue;
+        }
+        scratch.powers[iu] = q;
+        updates += 1;
+        if updates >= max_updates && !scratch.queue.is_empty() {
+            // Budget exhausted mid-flight: drain the worklist so the
+            // scratch is clean for the next (cold) attempt.
+            for k in scratch.queue.drain(..) {
+                scratch.queued[k as usize] = false;
+            }
+            exhausted = true;
+            break;
+        }
+        // A power change perturbs interference exactly at the rows
+        // that hear `i`.
+        for &k in field.hearers(iu) {
+            let ku = k as usize;
+            if !scratch.queued[ku] && field.is_live(ku) {
+                scratch.queued[ku] = true;
+                scratch.queue.push_back(k);
+            }
+        }
+    }
+    let verdict = classify(field, cfg, scratch);
+    RelaxReport {
+        updates,
+        verdict: if exhausted {
+            Verdict::Diverging
+        } else {
+            verdict
+        },
+    }
+}
+
+/// Runs the synchronous Foschini–Miljanic iteration on `field` from
+/// the all-minimum power vector, returning an owning outcome. The
+/// convenience wrapper over [`run_with`]; hot loops hold a
+/// [`ControlScratch`] instead.
+///
+/// # Panics
+/// Panics if `cfg` fails [`ControlConfig::validate`].
+pub fn run(field: &SinrField, cfg: &ControlConfig) -> ControlOutcome {
+    let mut scratch = ControlScratch::new();
+    let report = run_with(field, cfg, &mut scratch);
+    ControlOutcome {
+        feasibility: scratch.feasibility(report.verdict),
+        powers: scratch.powers,
+        sinrs: scratch.sinrs,
+        iterations: report.iterations,
     }
 }
 
@@ -266,7 +539,7 @@ mod tests {
     use crate::sinr::LinkBudget;
     use minim_geom::Point;
 
-    fn field_of(coords: &[(f64, f64)], receiver: &[usize]) -> SinrField {
+    fn field_of(coords: &[(f64, f64)], receiver: &[u32]) -> SinrField {
         let positions: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
         SinrField::build(
             &GainModel::terrain(),
@@ -350,7 +623,7 @@ mod tests {
         for k in 0..6 {
             coords.push((10.0 + 0.1 * k as f64, 0.0));
         }
-        let receiver: Vec<usize> = std::iter::once(1)
+        let receiver: Vec<u32> = std::iter::once(1)
             .chain(std::iter::repeat_n(0, 6))
             .collect();
         let field = field_of(&coords, &receiver);
@@ -447,5 +720,90 @@ mod tests {
             Feasibility::PowerCapped { capped: vec![0] }
         );
         assert_eq!(out.powers, vec![10.0]);
+    }
+
+    /// Cold active-set relaxation lands on the sweep's fixed point —
+    /// same powers (within tolerance), same verdict, same capped set.
+    #[test]
+    fn cold_relax_matches_sync_sweep_continuous() {
+        let field = field_of(
+            &[
+                (0.0, 0.0),
+                (8.0, 0.0),
+                (60.0, 5.0),
+                (66.0, 5.0),
+                (30.0, -20.0),
+                (36.0, -20.0),
+            ],
+            &[1, 0, 3, 2, 5, 4],
+        );
+        let cfg = ControlConfig::new(4.0, 1e-3, 1e6);
+        let sweep = run(&field, &cfg);
+        let mut scratch = ControlScratch::new();
+        let report = relax(&field, &cfg, &mut scratch, false);
+        assert_eq!(scratch.feasibility(report.verdict), sweep.feasibility);
+        for (i, (&a, &s)) in scratch.powers.iter().zip(&sweep.powers).enumerate() {
+            let rel = (a - s).abs() / s;
+            assert!(rel < 5e-3, "link {i}: relax {a} vs sweep {s} (rel {rel})");
+        }
+        assert!(report.updates > 0);
+    }
+
+    /// On a discrete ladder the relaxation climbs to the *exact* least
+    /// fixed point the sweep finds — bitwise equal rungs.
+    #[test]
+    fn cold_relax_matches_sync_sweep_geometric_exactly() {
+        let field = field_of(
+            &[(0.0, 0.0), (7.0, 0.0), (40.0, 3.0), (46.0, 3.0)],
+            &[1, 0, 3, 2],
+        );
+        let mut cfg = ControlConfig::new(4.0, 1e-3, 1e5);
+        cfg.ladder = PowerLadder::Geometric { levels: 24 };
+        let sweep = run(&field, &cfg);
+        let mut scratch = ControlScratch::new();
+        let report = relax(&field, &cfg, &mut scratch, false);
+        assert_eq!(scratch.powers, sweep.powers, "exact rung-for-rung match");
+        assert_eq!(scratch.feasibility(report.verdict), sweep.feasibility);
+    }
+
+    /// A warm restart at equilibrium with an empty worklist is a no-op:
+    /// zero updates, verdict unchanged.
+    #[test]
+    fn warm_restart_at_equilibrium_is_a_no_op() {
+        let field = field_of(
+            &[(0.0, 0.0), (8.0, 0.0), (300.0, 0.0), (308.0, 0.0)],
+            &[1, 0, 3, 2],
+        );
+        let cfg = ControlConfig::new(4.0, 1e-3, 1e6);
+        let mut scratch = ControlScratch::new();
+        relax(&field, &cfg, &mut scratch, false);
+        let report = relax(&field, &cfg, &mut scratch, true);
+        assert_eq!(report.updates, 0);
+        assert_eq!(report.verdict, Verdict::Converged);
+        // Marking every link at equilibrium still changes nothing.
+        for i in 0..field.len() as u32 {
+            scratch.mark(i);
+        }
+        let report = relax(&field, &cfg, &mut scratch, true);
+        assert_eq!(report.updates, 0, "equilibrium is a fixed point");
+    }
+
+    /// Overloaded instance under relaxation: the budget trips and the
+    /// verdict is Diverging (continuous loops approach the infeasible
+    /// fixed point asymptotically) or PowerCapped — never Converged.
+    #[test]
+    fn relax_never_calls_an_overload_feasible() {
+        let mut coords = vec![(0.0, 0.0)];
+        for k in 0..6 {
+            coords.push((10.0 + 0.1 * k as f64, 0.0));
+        }
+        let receiver: Vec<u32> = std::iter::once(1)
+            .chain(std::iter::repeat_n(0, 6))
+            .collect();
+        let field = field_of(&coords, &receiver);
+        let cfg = ControlConfig::new(16.0, 1e-3, 1e4);
+        let mut scratch = ControlScratch::new();
+        let report = relax(&field, &cfg, &mut scratch, false);
+        assert_ne!(report.verdict, Verdict::Converged);
     }
 }

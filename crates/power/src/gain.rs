@@ -114,6 +114,26 @@ impl GainModel {
         self.gain(a, b, crossings)
     }
 
+    /// [`GainModel::gain_between`] with a caller-provided wall-query
+    /// buffer (see [`SegmentGrid::crossings_into`]): identical result,
+    /// allocation-free once the buffer is warm. The incremental SINR
+    /// field patches gains on the steady-state event path through
+    /// this.
+    #[inline]
+    pub fn gain_between_with(
+        &self,
+        a: &Point,
+        b: &Point,
+        walls: Option<&SegmentGrid>,
+        scratch: &mut Vec<u32>,
+    ) -> f64 {
+        let crossings = match walls {
+            Some(w) if self.wall_loss < 1.0 => w.crossings_into(a, b, scratch),
+            _ => 0,
+        };
+        self.gain(a, b, crossings)
+    }
+
     /// The largest distance at which the unobstructed path gain still
     /// reaches `g` (the inverse of [`GainModel::path_gain`], clamped
     /// to the near field). Used to bound interference scans: beyond

@@ -40,12 +40,17 @@
 pub mod control;
 pub mod driver;
 pub mod gain;
+pub mod session;
 pub mod sinr;
 
-pub use control::{run as run_control, ControlConfig, ControlOutcome, Feasibility, PowerLadder};
+pub use control::{
+    relax, run as run_control, run_with, ControlConfig, ControlOutcome, ControlScratch,
+    Feasibility, PowerLadder, RelaxReport, SweepReport, Verdict,
+};
 pub use driver::{
-    power_for_range, range_for_power, PowerLoop, PowerLoopConfig, PowerLoopOutcome,
+    power_for_range, range_for_power, LoopScratch, PowerLoop, PowerLoopConfig, PowerLoopOutcome,
     PowerLoopReport, ReceiverPolicy,
 };
 pub use gain::GainModel;
-pub use sinr::{LinkBudget, SinrField};
+pub use session::{PowerSession, SessionReport};
+pub use sinr::{FieldEvent, LinkBudget, SinrField, NO_RECEIVER};

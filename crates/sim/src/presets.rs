@@ -213,6 +213,35 @@ pub fn near_far() -> ScenarioSpec {
         .sweep(SweepAxis::TargetSinr(vec![1.0, 2.0, 4.0, 8.0, 16.0]))
 }
 
+/// Closed-loop power control under sustained churn: after a clustered
+/// base joins, every step is a join, a departure, or a single-node
+/// move — and the continuous Foschini–Miljanic loop stays *closed*
+/// throughout. An incremental `PowerSession` patches its SINR field
+/// per event and re-settles from the warm equilibrium every few steps,
+/// so the event stream interleaves exogenous churn with the endogenous
+/// set-range corrections the loop emits while tracking its moving
+/// fixed point. Sweeping the target SINR sweeps how far each settle's
+/// corrections ripple.
+pub fn churn_power() -> ScenarioSpec {
+    ScenarioSpec::new("churn-power")
+        .summary("closed-loop power control tracking join/leave/move churn, sweep the target SINR")
+        .topology(TopologyFamily::Clustered {
+            clusters: 3,
+            spread: 5.0,
+        })
+        .base_phase(PhaseSpec::Join { count: 80 })
+        .measured_phase(PhaseSpec::PowerChurn {
+            steps: 120,
+            join_prob: 0.3,
+            leave_prob: 0.3,
+            maxdisp: 20.0,
+            target_sinr: 4.0,
+            slice: 8,
+        })
+        .measure(Measure::DeltaFromBase)
+        .sweep(SweepAxis::TargetSinr(vec![2.0, 4.0, 8.0]))
+}
+
 /// Interference-coupled clusters on a discrete power ladder: tight
 /// clusters join, then the quantized (12-rung) power loop runs with
 /// admission control — power-capped nodes are *dropped* (leave
@@ -251,6 +280,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
         metropolis(),
         lighthouse(),
         near_far(),
+        churn_power(),
         interference_clusters(),
     ]
 }

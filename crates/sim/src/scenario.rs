@@ -32,7 +32,7 @@ use minim_net::workload::{
 };
 use minim_net::Network;
 use minim_power::driver::ReceiverPolicy;
-use minim_power::{PowerLadder, PowerLoop, PowerLoopConfig};
+use minim_power::{PowerLadder, PowerLoop, PowerLoopConfig, PowerSession};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -219,6 +219,27 @@ pub enum PhaseSpec {
         /// couple hard and high targets go infeasible).
         sink_every: usize,
     },
+    /// Interleaved join / leave / move churn with the power loop held
+    /// *closed* throughout: a [`minim_power::PowerSession`] patches its
+    /// SINR field per event and re-settles every `slice` steps, so the
+    /// stream mixes exogenous topology churn with the endogenous
+    /// set-range corrections the continuous Foschini–Miljanic loop
+    /// emits while tracking its equilibrium.
+    PowerChurn {
+        /// Number of churn steps.
+        steps: usize,
+        /// Probability a step is a join.
+        join_prob: f64,
+        /// Probability a step is a departure.
+        leave_prob: f64,
+        /// Maximum displacement of a move step.
+        maxdisp: f64,
+        /// Target SINR `γ` (linear, > 0) of the continuous loop.
+        target_sinr: f64,
+        /// Steps between settles (≥ 1); the loop also settles once at
+        /// the end of the phase.
+        slice: usize,
+    },
 }
 
 /// What the per-point metrics mean.
@@ -281,7 +302,7 @@ pub enum SweepAxis {
     /// distribution.
     LongFraction(Vec<f64>),
     /// Sweep the `target_sinr` of every measured
-    /// [`PhaseSpec::PowerControl`] phase.
+    /// [`PhaseSpec::PowerControl`] and [`PhaseSpec::PowerChurn`] phase.
     TargetSinr(Vec<f64>),
     /// No sweep: a single point at `x = 0`.
     Single,
@@ -807,6 +828,27 @@ impl Scenario {
                         );
                     }
                 }
+                PhaseSpec::PowerChurn {
+                    join_prob,
+                    leave_prob,
+                    maxdisp,
+                    target_sinr,
+                    slice,
+                    ..
+                } => {
+                    if join_prob < 0.0 || leave_prob < 0.0 || join_prob + leave_prob > 1.0 {
+                        return spec_err("power-churn probabilities must be >= 0 and sum to <= 1");
+                    }
+                    if maxdisp < 0.0 {
+                        return spec_err("maxdisp must be non-negative");
+                    }
+                    if !(target_sinr.is_finite() && target_sinr > 0.0) {
+                        return spec_err("power-churn target SINR must be positive");
+                    }
+                    if slice == 0 {
+                        return spec_err("power-churn slice must be >= 1");
+                    }
+                }
             }
         }
         let has = |pred: fn(&PhaseSpec) -> bool| spec.measured.iter().any(pred);
@@ -892,8 +934,15 @@ impl Scenario {
                 if vs.iter().any(|&v| !(v.is_finite() && v > 0.0)) {
                     return spec_err("target SINRs must be positive");
                 }
-                if !has(|p| matches!(p, PhaseSpec::PowerControl { .. })) {
-                    return spec_err("target-SINR sweep needs a measured power-control phase");
+                if !has(|p| {
+                    matches!(
+                        p,
+                        PhaseSpec::PowerControl { .. } | PhaseSpec::PowerChurn { .. }
+                    )
+                }) {
+                    return spec_err(
+                        "target-SINR sweep needs a measured power-control or power-churn phase",
+                    );
                 }
             }
             SweepAxis::Single => {}
@@ -1070,8 +1119,10 @@ impl Scenario {
                 .map(|&g| {
                     let mut p = plan(g);
                     for phase in &mut p.measured {
-                        if let PhaseSpec::PowerControl { target_sinr, .. } = phase {
-                            *target_sinr = g;
+                        match phase {
+                            PhaseSpec::PowerControl { target_sinr, .. }
+                            | PhaseSpec::PowerChurn { target_sinr, .. } => *target_sinr = g,
+                            _ => {}
                         }
                     }
                     p
@@ -1180,6 +1231,74 @@ fn generate_phase(
                 apply_topology(ghost, e);
             }
             vec![outcome.events]
+        }
+        PhaseSpec::PowerChurn {
+            steps,
+            join_prob,
+            leave_prob,
+            maxdisp,
+            target_sinr,
+            slice,
+        } => {
+            // Exogenous churn drawn like a Mix phase, but with the
+            // continuous power loop held closed: an incremental
+            // PowerSession patches its SINR field per event and every
+            // `slice` steps re-settles from the warm equilibrium,
+            // interleaving its set-range corrections into the stream.
+            let workload = MixWorkload {
+                steps,
+                join_prob,
+                leave_prob,
+                maxdisp,
+                placement: placement.clone(),
+                ranges,
+            };
+            let mut cfg = PowerLoopConfig::for_range_scale(ranges.upper_bound().max(1.0));
+            cfg.target_sinr = target_sinr;
+            cfg.ladder = PowerLadder::Continuous;
+            cfg.drop_infeasible = false;
+            cfg.receivers = ReceiverPolicy::NearestNeighbor;
+            let mut session = PowerSession::new(cfg, ghost);
+            let mut events = Vec::with_capacity(steps);
+            let settle =
+                |session: &mut PowerSession, ghost: &mut Network, events: &mut Vec<Event>| {
+                    let (corrections, _report) = session.settle();
+                    for e in corrections {
+                        apply_topology(ghost, e);
+                        events.push(e.clone());
+                    }
+                };
+            settle(&mut session, ghost, &mut events);
+            for step in 0..steps {
+                let e = workload.next_event(ghost, rng);
+                match &e {
+                    Event::Join { cfg } => {
+                        let id = ghost.peek_next_id();
+                        apply_topology(ghost, &e);
+                        session.apply_join(id.0, cfg.pos, cfg.range);
+                    }
+                    Event::Leave { node } => {
+                        apply_topology(ghost, &e);
+                        session.apply_leave(node.0);
+                    }
+                    Event::Move { node, to } => {
+                        apply_topology(ghost, &e);
+                        session.apply_move(node.0, *to);
+                    }
+                    Event::SetRange { node, range } => {
+                        apply_topology(ghost, &e);
+                        session.note_range(node.0, *range);
+                    }
+                }
+                events.push(e);
+                if (step + 1) % slice == 0 {
+                    settle(&mut session, ghost, &mut events);
+                }
+            }
+            if steps % slice != 0 {
+                settle(&mut session, ghost, &mut events);
+            }
+            vec![events]
         }
     }
 }
@@ -1356,6 +1475,22 @@ fn phase_to_json(p: &PhaseSpec) -> Json {
             ("drop_infeasible", Json::Bool(drop_infeasible)),
             ("sink_every", Json::Num(sink_every as f64)),
         ]),
+        PhaseSpec::PowerChurn {
+            steps,
+            join_prob,
+            leave_prob,
+            maxdisp,
+            target_sinr,
+            slice,
+        } => Json::obj(vec![
+            ("phase", Json::Str("power-churn".into())),
+            ("steps", Json::Num(steps as f64)),
+            ("join_prob", Json::Num(join_prob)),
+            ("leave_prob", Json::Num(leave_prob)),
+            ("maxdisp", Json::Num(maxdisp)),
+            ("target_sinr", Json::Num(target_sinr)),
+            ("slice", Json::Num(slice as f64)),
+        ]),
     }
 }
 
@@ -1410,8 +1545,19 @@ fn phase_from_json(v: &Json) -> Result<PhaseSpec, SpecError> {
                 None => 0,
             },
         }),
+        "power-churn" => Ok(PhaseSpec::PowerChurn {
+            steps: get_usize(v, "steps")?,
+            join_prob: get_num(v, "join_prob")?,
+            leave_prob: get_num(v, "leave_prob")?,
+            maxdisp: get_num(v, "maxdisp")?,
+            target_sinr: get_num(v, "target_sinr")?,
+            slice: match v.get("slice") {
+                Some(_) => get_usize(v, "slice")?,
+                None => 8,
+            },
+        }),
         other => spec_err(format!(
-            "unknown phase {other:?} (join|power-raise|movement|mix|power-control)"
+            "unknown phase {other:?} (join|power-raise|movement|mix|power-control|power-churn)"
         )),
     }
 }
@@ -2005,11 +2151,82 @@ mod tests {
         assert!(Scenario::new(negative_sweep).is_err());
     }
 
+    fn churn_spec() -> ScenarioSpec {
+        ScenarioSpec::new("churn-lab")
+            .topology(TopologyFamily::Clustered {
+                clusters: 3,
+                spread: 4.0,
+            })
+            .base_phase(PhaseSpec::Join { count: 25 })
+            .measured_phase(PhaseSpec::PowerChurn {
+                steps: 24,
+                join_prob: 0.3,
+                leave_prob: 0.3,
+                maxdisp: 15.0,
+                target_sinr: 4.0,
+                slice: 8,
+            })
+            .measure(Measure::DeltaFromBase)
+            .sweep(SweepAxis::TargetSinr(vec![2.0, 8.0]))
+    }
+
+    #[test]
+    fn power_churn_phase_interleaves_corrections() {
+        let r = Scenario::new(churn_spec()).unwrap().run(&tiny_cfg());
+        assert_eq!(r.points.len(), 2);
+        assert_eq!(r.x_label, "targetSINR");
+        // Every replicate executes the 25 base joins, the 24 churn
+        // steps, and at least one endogenous correction per settle
+        // (the closed loop always moves ranges off the sampled seed).
+        for p in &r.points {
+            assert!(
+                p.events > 3 * (25 + 24),
+                "endogenous corrections missing: {}",
+                p.events
+            );
+        }
+    }
+
+    #[test]
+    fn power_churn_results_are_worker_invariant() {
+        let scenario = Scenario::new(churn_spec()).unwrap();
+        let a = scenario.run(&ExperimentConfig {
+            workers: 1,
+            ..tiny_cfg()
+        });
+        let b = scenario.run(&ExperimentConfig {
+            workers: 8,
+            ..tiny_cfg()
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn power_churn_validation_rejects_bad_knobs() {
+        let churn = |join_prob, leave_prob, target_sinr, slice| {
+            ScenarioSpec::new("x").measured_phase(PhaseSpec::PowerChurn {
+                steps: 10,
+                join_prob,
+                leave_prob,
+                maxdisp: 10.0,
+                target_sinr,
+                slice,
+            })
+        };
+        assert!(Scenario::new(churn(0.7, 0.7, 4.0, 8)).is_err());
+        assert!(Scenario::new(churn(0.3, 0.3, 0.0, 8)).is_err());
+        assert!(Scenario::new(churn(0.3, 0.3, 4.0, 0)).is_err());
+        assert!(Scenario::new(churn(0.3, 0.3, 4.0, 8)).is_ok());
+        // A churn phase satisfies the target-SINR sweep requirement.
+        assert!(Scenario::new(churn_spec()).is_ok());
+    }
+
     #[test]
     fn spec_json_roundtrip_covers_every_variant() {
         let specs = [
             mix_spec(),
             power_spec(),
+            churn_spec(),
             ScenarioSpec::new("power-discrete")
                 .base_phase(PhaseSpec::Join { count: 10 })
                 .measured_phase(PhaseSpec::PowerControl {

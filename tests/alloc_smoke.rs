@@ -8,6 +8,13 @@
 //! grid's slab storage together make every steady-state event a pure
 //! pointer-chasing affair.
 //!
+//! This PR extends the contract to the incremental SINR engine: a warm
+//! [`PowerSession`] patching its interference field per move / leave /
+//! rejoin and re-settling the active-set power loop from the previous
+//! equilibrium must also be allocation-free — the CSR row pools, the
+//! transposed hearers/aimers indexes, the relaxation worklist, and the
+//! emitted-event buffer all recycle their storage.
+//!
 //! The check uses a counting global allocator (this integration test
 //! is its own binary, so the allocator sees only this file's tests;
 //! keep it to ONE `#[test]` so no concurrent test thread can bleed
@@ -16,6 +23,7 @@
 use minim_geom::{Point, Segment};
 use minim_graph::NodeId;
 use minim_net::{Network, NodeConfig};
+use minim_power::{PowerLoopConfig, PowerSession};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -111,4 +119,37 @@ fn steady_state_rewire_allocates_nothing() {
 
     // The network is still healthy after the hammering.
     net.check_topology();
+
+    // --- Phase 2: the incremental SINR engine over the same arena. ---
+    // A warm session oscillates a mover across the grid, churns a node
+    // out and back in at its old slot, and re-settles the continuous
+    // power loop after each patch — all from recycled storage.
+    let mut session = PowerSession::new(PowerLoopConfig::for_range_scale(25.0), &net);
+    let churn_pos = net.config(churner).expect("churner present").pos;
+    let session_cycle = |session: &mut PowerSession| {
+        session.apply_move(mover.0, Point::new(62.0, 10.0));
+        let _ = session.settle();
+        session.apply_move(mover.0, Point::new(10.0, 10.0));
+        let _ = session.settle();
+        session.apply_leave(churner.0);
+        session.apply_join(churner.0, churn_pos, 20.0);
+        let _ = session.settle();
+    };
+    for _ in 0..12 {
+        session_cycle(&mut session);
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..25 {
+        session_cycle(&mut session);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state field patching + warm relaxation must be allocation-free, \
+         saw {} allocations over 25 cycles",
+        after - before
+    );
 }
