@@ -18,7 +18,15 @@
 //!   sweep per slice), reporting the speedup explicitly;
 //! * **active-set** (vs full sweep): on a static field, the full
 //!   synchronous sweep vs cold event-driven relaxation, plus the warm
-//!   per-event resettle cost after a single move patch.
+//!   per-event resettle cost after a single move patch;
+//! * **parallel-settle** (vs serial): the same churn stream settled at
+//!   `workers = 1` and at the machine's parallelism, asserting the
+//!   power vectors stay bit-identical and reporting the island
+//!   structure (mean islands per settle, widest island) — the
+//!   attainable width even when the host has one core;
+//! * **simd-accum** (vs scalar): the explicit-SIMD interference
+//!   accumulation kernel against its scalar reference over a settled
+//!   field's CSR rows, asserted bitwise-equal row by row.
 //!
 //! Run via `cargo bench -p minim-bench --bench power`; CI uploads the
 //! JSON as an artifact next to `BENCH_events.json`. Override the
@@ -211,6 +219,143 @@ fn churn_arm(n: usize, seed: u64, results: &mut Vec<Json>) {
     ]));
 }
 
+/// Island-parallel vs serial settles on the same exogenous churn
+/// stream: two sessions replay identical slices, one at `workers = 1`
+/// (inline islands) and one at the machine's parallelism, asserting
+/// bit-identical power vectors along the way. On single-core CI the
+/// interesting output is the island *structure* (attainable width and
+/// critical path), which is reported either way.
+fn parallel_settle_arm(n: usize, seed: u64, results: &mut Vec<Json>) {
+    let slices = 6usize;
+    let per_slice = 16usize;
+    let net0 = base_net(n, seed);
+    let stream = churn_stream(&net0, slices, per_slice, seed ^ 0x15_1A);
+    let cfg = loop_config(PowerLadder::Continuous);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(1);
+
+    let run = |w: usize| {
+        let mut session = PowerSession::new(cfg, &net0);
+        session.set_workers(w);
+        session.settle(); // warm to the base equilibrium, untimed
+        let mut islands_sum = 0u64;
+        let mut widest_sum = 0u64;
+        let mut settles = 0u64;
+        let t = Instant::now();
+        for slice in &stream {
+            for step in slice {
+                match *step {
+                    ChurnStep::Join(id, pos, range) => session.apply_join(id, pos, range),
+                    ChurnStep::Leave(id) => session.apply_leave(id),
+                    ChurnStep::Move(id, to) => session.apply_move(id, to),
+                    ChurnStep::SetRange(id, range) => session.note_range(id, range),
+                }
+            }
+            let (_, report) = session.settle();
+            islands_sum += report.islands as u64;
+            widest_sum += report.widest_island as u64;
+            settles += 1;
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let powers = session.powers().to_vec();
+        (secs, powers, islands_sum, widest_sum, settles)
+    };
+    let (serial_secs, serial_powers, islands_sum, widest_sum, settles) = run(1);
+    let (par_secs, par_powers, _, _, _) = run(workers);
+    // The contract the whole arm exists to witness: worker count never
+    // changes a single bit of the fixed point.
+    let bit_identical = serial_powers.len() == par_powers.len()
+        && serial_powers
+            .iter()
+            .zip(&par_powers)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(bit_identical, "parallel settle diverged from serial");
+
+    let speedup = serial_secs / par_secs;
+    let mean_islands = islands_sum as f64 / settles as f64;
+    let mean_widest = widest_sum as f64 / settles as f64;
+    // A single-core host cannot witness a speedup, but the island
+    // *structure* — the attainable parallel width — is machine-
+    // independent: churn dirty sets on the clustered arena must
+    // genuinely decompose.
+    assert!(
+        mean_islands > 1.0,
+        "churn worklists should decompose into >1 island per settle, got {mean_islands}"
+    );
+    println!(
+        "parallel-settle/N={n}: serial {serial_secs:>8.4}s vs {workers}-worker {par_secs:>8.4}s | {speedup:>5.2}x | mean {mean_islands:>6.1} islands/settle, widest {mean_widest:>6.1} rows | bit-identical {bit_identical}",
+    );
+    results.push(Json::obj(vec![
+        ("arm", Json::Str("parallel-settle-vs-serial".to_string())),
+        ("n", Json::Num(n as f64)),
+        ("workers", Json::Num(workers as f64)),
+        ("serial_seconds", Json::Num(serial_secs)),
+        ("parallel_seconds", Json::Num(par_secs)),
+        ("speedup", Json::Num(speedup)),
+        ("settles", Json::Num(settles as f64)),
+        ("mean_islands", Json::Num(mean_islands)),
+        ("mean_widest_island", Json::Num(mean_widest)),
+        ("bit_identical", Json::Bool(bit_identical)),
+    ]));
+}
+
+/// The SIMD vs scalar accumulation kernel, timed per full-field
+/// interference pass over a settled session's CSR rows (and asserted
+/// bitwise-equal row by row, outside the timers).
+fn simd_vs_scalar_arm(n: usize, seed: u64, results: &mut Vec<Json>) {
+    use minim_power::{weighted_sum_scalar, weighted_sum_simd};
+    let net = base_net(n, seed);
+    let cfg = loop_config(PowerLadder::Continuous);
+    let mut session = PowerSession::new(cfg, &net);
+    session.settle();
+    let field = session.field();
+    let powers = session.powers();
+    let rows: Vec<usize> = (0..field.len()).filter(|&i| field.is_live(i)).collect();
+    for &i in &rows {
+        let (ids, gains) = field.interferers(i);
+        let a = weighted_sum_scalar(ids, gains, |j| powers[j as usize]);
+        let b = weighted_sum_simd(ids, gains, |j| powers[j as usize]);
+        assert_eq!(a.to_bits(), b.to_bits(), "row {i}: SIMD arm drifted");
+    }
+    let reps = if n >= 4_000 { 20 } else { 60 };
+    let mut sink = 0.0f64;
+    let time_arm = |sink: &mut f64, f: &dyn Fn(&[u32], &[f64]) -> f64| {
+        let t = Instant::now();
+        for _ in 0..reps {
+            for &i in &rows {
+                let (ids, gains) = field.interferers(i);
+                *sink += f(ids, gains);
+            }
+        }
+        t.elapsed().as_secs_f64() / reps as f64
+    };
+    let scalar_secs = time_arm(&mut sink, &|ids, gains| {
+        weighted_sum_scalar(ids, gains, |j| powers[j as usize])
+    });
+    let simd_secs = time_arm(&mut sink, &|ids, gains| {
+        weighted_sum_simd(ids, gains, |j| powers[j as usize])
+    });
+    std::hint::black_box(sink);
+    let entries: usize = rows.iter().map(|&i| field.interferers(i).0.len()).sum();
+    let speedup = scalar_secs / simd_secs;
+    println!(
+        "simd-accum/N={n}: scalar {:>10.6}s vs simd {:>10.6}s per pass ({} rows, {entries} entries) | {speedup:>5.2}x",
+        scalar_secs,
+        simd_secs,
+        rows.len(),
+    );
+    results.push(Json::obj(vec![
+        ("arm", Json::Str("simd-vs-scalar-accum".to_string())),
+        ("n", Json::Num(n as f64)),
+        ("rows", Json::Num(rows.len() as f64)),
+        ("entries", Json::Num(entries as f64)),
+        ("scalar_seconds", Json::Num(scalar_secs)),
+        ("simd_seconds", Json::Num(simd_secs)),
+        ("speedup", Json::Num(speedup)),
+    ]));
+}
+
 /// Full synchronous sweep vs event-driven relaxation on a static
 /// field, plus the warm per-event resettle after a single move.
 fn active_set_arm(n: usize, seed: u64, results: &mut Vec<Json>) {
@@ -375,10 +520,12 @@ fn main() {
     for &n in &churn_ns {
         churn_arm(n, seed, &mut results);
         active_set_arm(n, seed, &mut results);
+        parallel_settle_arm(n, seed, &mut results);
+        simd_vs_scalar_arm(n, seed, &mut results);
     }
 
     let doc = Json::obj(vec![
-        ("schema", Json::Str("minim-bench-power/2".to_string())),
+        ("schema", Json::Str("minim-bench-power/3".to_string())),
         ("results", Json::Arr(results)),
     ]);
     std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_power.json");

@@ -51,39 +51,8 @@ use crate::event::Event;
 use crate::Network;
 use minim_geom::grid::cell_coord;
 use minim_geom::Point;
-use minim_graph::NodeId;
+use minim_graph::{NodeId, UnionFind};
 use std::collections::HashMap;
-
-/// Union-find over event indices.
-struct UnionFind {
-    parent: Vec<usize>,
-}
-
-impl UnionFind {
-    fn new(n: usize) -> UnionFind {
-        UnionFind {
-            parent: (0..n).collect(),
-        }
-    }
-
-    fn find(&mut self, mut x: usize) -> usize {
-        while self.parent[x] != x {
-            self.parent[x] = self.parent[self.parent[x]]; // path halving
-            x = self.parent[x];
-        }
-        x
-    }
-
-    fn union(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            // Attach the larger root index under the smaller so shard
-            // identity is deterministic.
-            let (lo, hi) = (ra.min(rb), ra.max(rb));
-            self.parent[hi] = lo;
-        }
-    }
-}
 
 /// A partition of an event slice into spatially independent shards,
 /// plus the sequential pre-assignment of join ids.

@@ -37,15 +37,18 @@
 
 #![deny(missing_docs)]
 
+pub mod accum;
 pub mod control;
 pub mod driver;
 pub mod gain;
 pub mod session;
 pub mod sinr;
 
+pub use accum::{weighted_sum, weighted_sum_scalar, weighted_sum_simd, LANES};
 pub use control::{
-    relax, run as run_control, run_with, ControlConfig, ControlOutcome, ControlScratch,
-    Feasibility, PowerLadder, RelaxReport, SweepReport, Verdict,
+    relax, relax_parallel, run as run_control, run_with, ControlConfig, ControlOutcome,
+    ControlScratch, Feasibility, IslandPlan, IslandScratch, ParallelRelaxReport, PowerLadder,
+    RelaxReport, SweepReport, Verdict,
 };
 pub use driver::{
     power_for_range, range_for_power, LoopScratch, PowerLoop, PowerLoopConfig, PowerLoopOutcome,

@@ -75,6 +75,12 @@ pub struct SessionReport {
     pub infeasible: usize,
     /// Live links under control at settle time.
     pub links: usize,
+    /// Independent islands the settle's worklist decomposed into
+    /// (the attainable parallel width; 0 when nothing relaxed).
+    pub islands: usize,
+    /// Rows in the largest island (the critical path of the parallel
+    /// schedule).
+    pub widest_island: usize,
 }
 
 /// A long-lived continuous power-control loop: incremental SINR
@@ -96,6 +102,9 @@ pub struct PowerSession {
     lonely: Option<u32>,
     /// Whether `scratch.powers` holds a previous equilibrium.
     warmed: bool,
+    /// Worker threads for island-parallel settles (1 = inline).
+    workers: usize,
+    islands: control::IslandScratch,
     events: Vec<Event>,
     dirty_buf: Vec<u32>,
     aim_buf: Vec<u32>,
@@ -177,6 +186,8 @@ impl PowerSession {
             ranges,
             lonely,
             warmed: false,
+            workers: 1,
+            islands: control::IslandScratch::new(),
             events: Vec::new(),
             dirty_buf: Vec::new(),
             aim_buf: Vec::new(),
@@ -187,6 +198,21 @@ impl PowerSession {
     /// The loop configuration.
     pub fn config(&self) -> &PowerLoopConfig {
         &self.cfg
+    }
+
+    /// Sets the worker-thread budget for [`PowerSession::settle`]'s
+    /// island-parallel relaxation. `1` (the default) relaxes islands
+    /// inline on the calling thread; any value yields bit-identical
+    /// results ([`control::relax_parallel`]'s contract), so this knob
+    /// trades wall-clock only. Values are clamped to at least 1.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The current worker-thread budget (see
+    /// [`PowerSession::set_workers`]).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The live SINR field (for inspection and equivalence tests).
@@ -418,8 +444,11 @@ impl PowerSession {
     /// last settle and lowers the corrections to [`Event::SetRange`]s
     /// (ascending node id). Warm-starts from the previous equilibrium
     /// on continuous ladders; cold-starts on discrete ladders and
-    /// after a divergence (see the module docs). Steady-state calls
-    /// are allocation-free once the buffers are warm.
+    /// after a divergence (see the module docs). The worklist is
+    /// island-decomposed ([`control::relax_parallel`]) and relaxed on
+    /// up to [`PowerSession::workers`] threads — bit-identical to the
+    /// sequential sweep at every worker count. Steady-state calls at
+    /// `workers == 1` are allocation-free once the buffers are warm.
     pub fn settle(&mut self) -> (&[Event], SessionReport) {
         self.events.clear();
         let live = self.field.live_links();
@@ -435,6 +464,8 @@ impl PowerSession {
                     updates: 0,
                     infeasible: 0,
                     links: live,
+                    islands: 0,
+                    widest_island: 0,
                 },
             );
         }
@@ -445,7 +476,14 @@ impl PowerSession {
                 self.scratch.mark(d);
             }
         }
-        let report = control::relax(&self.field, &self.control, &mut self.scratch, warm);
+        let report = control::relax_parallel(
+            &self.field,
+            &self.control,
+            &mut self.scratch,
+            &mut self.islands,
+            warm,
+            self.workers,
+        );
         self.warmed = report.verdict != Verdict::Diverging;
         for i in 0..self.field.len() {
             if !self.field.is_live(i) {
@@ -472,6 +510,8 @@ impl PowerSession {
                 updates: report.updates,
                 infeasible,
                 links: live,
+                islands: report.islands,
+                widest_island: report.widest_island,
             },
         )
     }

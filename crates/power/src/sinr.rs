@@ -122,8 +122,8 @@ pub enum FieldEvent {
         /// Its intended receiver (a present node, or `node` itself).
         receiver: u32,
     },
-    /// Node `node` disappears. Rows aiming at it must be retuned
-    /// first (see [`SinrField::apply`]).
+    /// Node `node` disappears. Rows still aiming at it become dead
+    /// links in the same patch (see [`SinrField::apply`]).
     Leave {
         /// The leaving node.
         node: u32,
@@ -699,15 +699,23 @@ impl SinrField {
     }
 
     /// Noise-plus-interference power at link `i`'s receiver under `p`:
-    /// a branch-free walk over the row's flat id/gain slices.
+    /// the pinned-order accumulation kernel ([`crate::accum`]) over the
+    /// row's flat id/gain slices, plus the noise floor.
     #[inline]
     pub fn interference(&self, powers: &[f64], i: usize) -> f64 {
+        self.interference_with(|j| powers[j as usize], i)
+    }
+
+    /// [`SinrField::interference`] with powers gathered through `load`
+    /// instead of a slice. The island-parallel relaxation reads powers
+    /// through a raw pointer (its islands write disjoint rows
+    /// concurrently, so no whole-slice `&[f64]` may exist); both entry
+    /// points run the same [`crate::accum`] kernel, so their sums are
+    /// bit-identical.
+    #[inline]
+    pub fn interference_with<F: Fn(u32) -> f64>(&self, load: F, i: usize) -> f64 {
         let (ids, gains) = self.rows.row(i);
-        let mut acc = self.budget.noise;
-        for (g, &j) in gains.iter().zip(ids) {
-            acc += g * powers[j as usize];
-        }
-        acc
+        self.budget.noise + crate::accum::weighted_sum(ids, gains, load)
     }
 
     /// SINR of link `i` under the power vector `powers` (0 when the
@@ -881,11 +889,15 @@ impl SinrField {
     /// See the module docs for the patch math. Touched rows accumulate
     /// in the dirty set ([`SinrField::take_dirty`]).
     ///
+    /// A `Leave` of a node that is some row's receiver converts those
+    /// rows to dead links (aiming at themselves, direct gain dropped)
+    /// **in the same patch** — the orphaned links need no session-side
+    /// retune ordering to keep the field consistent, though callers
+    /// are free to retune them onto fresh receivers first (or after).
+    ///
     /// # Panics
     /// Panics on inconsistent deltas: joining a present id, moving or
-    /// retuning an absent one, aiming at an absent receiver, or
-    /// leaving while rows still aim at the leaver (retune them first —
-    /// their links need a receiver that will outlive the event).
+    /// retuning an absent one, or aiming at an absent receiver.
     pub fn apply(&mut self, ev: &FieldEvent) {
         match *ev {
             FieldEvent::Join {
@@ -915,10 +927,22 @@ impl SinrField {
             FieldEvent::Leave { node } => {
                 let ju = node as usize;
                 assert!(self.is_live(ju), "leave of absent node {node}");
-                assert!(
-                    self.aimers.row(ju).is_empty(),
-                    "leave of node {node} with rows still aiming at it"
-                );
+                // Rows still aiming at the leaver lose their receiver
+                // in the same patch: they become dead links (aim at
+                // themselves, direct gain 0, empty interferer row) and
+                // land in the dirty set, instead of relying on the
+                // caller to retune them beforehand. Callers that *do*
+                // retune first (the session re-aims them at their next
+                // nearest neighbors) see an empty aim row here.
+                let mut aim = std::mem::take(&mut self.scratch.aim_rows);
+                aim.clear();
+                aim.extend_from_slice(self.aimers.row(ju));
+                for &k in &aim {
+                    self.receiver[k as usize] = k;
+                    self.rebuild_row(k);
+                }
+                self.aimers.clear_row(ju);
+                self.scratch.aim_rows = aim;
                 // Remove the leaver from every row that heard it.
                 let mut old_rows = std::mem::take(&mut self.scratch.old_rows);
                 old_rows.clear();
@@ -1300,6 +1324,47 @@ mod tests {
         assert_eq!(field, oracle, "after leave");
         assert_eq!(field.live_links(), 5);
         assert!(!field.is_live(3));
+    }
+
+    /// Leave-of-receiver regression: a `Leave` of a node other rows
+    /// aim at must drop those rows' direct gains (dead links) in the
+    /// same patch — bit-identical to a rebuild with the orphans aiming
+    /// at themselves — and mark them dirty, with no session-side
+    /// retune ordering required.
+    #[test]
+    fn leave_of_receiver_orphans_aimers_in_patch() {
+        let gm = GainModel::terrain();
+        let positions = pts(&[(0.0, 0.0), (5.0, 0.0), (9.0, 0.0), (14.0, 0.0)]);
+        // 0, 2, and 3 all aim at 1; 1 aims back at 0.
+        let mut field = SinrField::build(
+            &gm,
+            LinkBudget::cdma64(),
+            &positions,
+            &[1, 0, 1, 1],
+            None,
+            0.0,
+        );
+        let mut dirty = Vec::new();
+        field.take_dirty(&mut dirty);
+        field.apply(&FieldEvent::Leave { node: 1 });
+        // Orphans become dead links: direct path gone, nothing heard.
+        for k in [0usize, 2, 3] {
+            assert_eq!(field.receiver_of(k), Some(k as u32), "orphan {k}");
+            assert_eq!(field.direct_gain(k), 0.0, "orphan {k} direct gain");
+            assert!(field.interferers(k).0.is_empty(), "orphan {k} row");
+        }
+        assert!(!field.is_live(1));
+        assert_eq!(field.live_links(), 3);
+        // The whole patch lands on the rebuild oracle, bit for bit.
+        let receiver = [0u32, NO_RECEIVER, 2, 3];
+        let oracle = SinrField::build(&gm, LinkBudget::cdma64(), &positions, &receiver, None, 0.0);
+        assert_eq!(field, oracle, "leave-of-receiver patch vs rebuild");
+        // Every orphan is in the dirty set the next settle will seed
+        // its worklist from.
+        field.take_dirty(&mut dirty);
+        for k in [0u32, 2, 3] {
+            assert!(dirty.contains(&k), "orphan {k} must be dirty");
+        }
     }
 
     /// Dirty tracking: a move reports exactly the rows whose lists or

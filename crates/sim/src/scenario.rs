@@ -239,6 +239,11 @@ pub enum PhaseSpec {
         /// Steps between settles (≥ 1); the loop also settles once at
         /// the end of the phase.
         slice: usize,
+        /// Worker threads for the session's island-parallel settles
+        /// (≥ 1; `1` = inline). Any value produces bit-identical
+        /// results — the knob trades wall-clock only, so sweeps stay
+        /// reproducible across machines and thread counts.
+        workers: usize,
     },
 }
 
@@ -834,6 +839,7 @@ impl Scenario {
                     maxdisp,
                     target_sinr,
                     slice,
+                    workers,
                     ..
                 } => {
                     if join_prob < 0.0 || leave_prob < 0.0 || join_prob + leave_prob > 1.0 {
@@ -847,6 +853,9 @@ impl Scenario {
                     }
                     if slice == 0 {
                         return spec_err("power-churn slice must be >= 1");
+                    }
+                    if workers == 0 {
+                        return spec_err("power-churn workers must be >= 1");
                     }
                 }
             }
@@ -1239,6 +1248,7 @@ fn generate_phase(
             maxdisp,
             target_sinr,
             slice,
+            workers,
         } => {
             // Exogenous churn drawn like a Mix phase, but with the
             // continuous power loop held closed: an incremental
@@ -1259,6 +1269,7 @@ fn generate_phase(
             cfg.drop_infeasible = false;
             cfg.receivers = ReceiverPolicy::NearestNeighbor;
             let mut session = PowerSession::new(cfg, ghost);
+            session.set_workers(workers);
             let mut events = Vec::with_capacity(steps);
             let settle =
                 |session: &mut PowerSession, ghost: &mut Network, events: &mut Vec<Event>| {
@@ -1482,6 +1493,7 @@ fn phase_to_json(p: &PhaseSpec) -> Json {
             maxdisp,
             target_sinr,
             slice,
+            workers,
         } => Json::obj(vec![
             ("phase", Json::Str("power-churn".into())),
             ("steps", Json::Num(steps as f64)),
@@ -1490,6 +1502,7 @@ fn phase_to_json(p: &PhaseSpec) -> Json {
             ("maxdisp", Json::Num(maxdisp)),
             ("target_sinr", Json::Num(target_sinr)),
             ("slice", Json::Num(slice as f64)),
+            ("workers", Json::Num(workers as f64)),
         ]),
     }
 }
@@ -1554,6 +1567,10 @@ fn phase_from_json(v: &Json) -> Result<PhaseSpec, SpecError> {
             slice: match v.get("slice") {
                 Some(_) => get_usize(v, "slice")?,
                 None => 8,
+            },
+            workers: match v.get("workers") {
+                Some(_) => get_usize(v, "workers")?,
+                None => 1,
             },
         }),
         other => spec_err(format!(
@@ -2165,6 +2182,7 @@ mod tests {
                 maxdisp: 15.0,
                 target_sinr: 4.0,
                 slice: 8,
+                workers: 1,
             })
             .measure(Measure::DeltaFromBase)
             .sweep(SweepAxis::TargetSinr(vec![2.0, 8.0]))
@@ -2203,7 +2221,7 @@ mod tests {
 
     #[test]
     fn power_churn_validation_rejects_bad_knobs() {
-        let churn = |join_prob, leave_prob, target_sinr, slice| {
+        let churn = |join_prob, leave_prob, target_sinr, slice, workers| {
             ScenarioSpec::new("x").measured_phase(PhaseSpec::PowerChurn {
                 steps: 10,
                 join_prob,
@@ -2211,12 +2229,14 @@ mod tests {
                 maxdisp: 10.0,
                 target_sinr,
                 slice,
+                workers,
             })
         };
-        assert!(Scenario::new(churn(0.7, 0.7, 4.0, 8)).is_err());
-        assert!(Scenario::new(churn(0.3, 0.3, 0.0, 8)).is_err());
-        assert!(Scenario::new(churn(0.3, 0.3, 4.0, 0)).is_err());
-        assert!(Scenario::new(churn(0.3, 0.3, 4.0, 8)).is_ok());
+        assert!(Scenario::new(churn(0.7, 0.7, 4.0, 8, 1)).is_err());
+        assert!(Scenario::new(churn(0.3, 0.3, 0.0, 8, 1)).is_err());
+        assert!(Scenario::new(churn(0.3, 0.3, 4.0, 0, 1)).is_err());
+        assert!(Scenario::new(churn(0.3, 0.3, 4.0, 8, 0)).is_err());
+        assert!(Scenario::new(churn(0.3, 0.3, 4.0, 8, 1)).is_ok());
         // A churn phase satisfies the target-SINR sweep requirement.
         assert!(Scenario::new(churn_spec()).is_ok());
     }

@@ -152,4 +152,32 @@ fn steady_state_rewire_allocates_nothing() {
          saw {} allocations over 25 cycles",
         after - before
     );
+
+    // --- Phase 3: the island-parallel settle path at workers = 1. ---
+    // `settle` routes every relaxation through the island scheduler
+    // (`relax_parallel`); at one worker the islands run inline on the
+    // calling thread — no `thread::scope`, whose spawn bookkeeping
+    // allocates — so the whole plan/relax/merge cycle must recycle its
+    // storage: the union-find slab, closure and membership CSRs, seed
+    // buffer, per-island worklist deque, and report slots. (Higher
+    // worker counts relax the same islands from the same recycled
+    // buffers; only the scoped-thread machinery itself allocates.)
+    session.set_workers(1);
+    for _ in 0..12 {
+        session_cycle(&mut session);
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..25 {
+        session_cycle(&mut session);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state island-parallel settles (inline, workers = 1) must be \
+         allocation-free, saw {} allocations over 25 cycles",
+        after - before
+    );
 }

@@ -1,0 +1,344 @@
+//! Island-parallel relaxation equivalence — the correctness contract
+//! of `relax_parallel` and the vectorized accumulation kernel.
+//!
+//! The parallel settle path is only admissible because every piece of
+//! it is *exactly* the sequential computation, re-scheduled:
+//!
+//! * the island partition is **sound** — the closure of the seeded
+//!   worklist under the transposed fan-out `j → hearers(j)` is covered
+//!   exactly by the islands, and no `hearers` edge crosses an island
+//!   boundary (so island-local writes can never race and cross-island
+//!   reads only see frozen powers);
+//! * `relax_parallel` is **bit-identical** to `relax` — same power
+//!   bits, same verdict, same update count, and the same drained
+//!   worklist — at every worker count, on both ladders, cold and warm,
+//!   with and without walls;
+//! * the SIMD accumulation arm is **bitwise equal** to the scalar
+//!   reference on every row length, including the empty, sub-lane, and
+//!   lane-straddling shapes where a tail bug would hide.
+
+use minim::geom::{sample, Point, Rect, Segment, SegmentGrid};
+use minim::power::sinr::FieldEvent;
+use minim::power::{
+    relax, relax_parallel, weighted_sum_scalar, weighted_sum_simd, ControlScratch, GainModel,
+    IslandPlan, IslandScratch, LinkBudget, PowerLadder, PowerLoopConfig, SinrField, LANES,
+    NO_RECEIVER,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SLOTS: usize = 48;
+
+/// Enough walls to vary the patched gains (and the interference
+/// structure the islands are carved from).
+fn wall_grid(rng: &mut StdRng) -> SegmentGrid {
+    let mut grid = SegmentGrid::new(10.0);
+    for _ in 0..6 {
+        let x = rng.gen_range(5.0..95.0);
+        let y = rng.gen_range(5.0..75.0);
+        grid.insert(Segment::new(Point::new(x, y), Point::new(x, y + 20.0)));
+    }
+    grid
+}
+
+struct Model {
+    positions: Vec<Point>,
+    receiver: Vec<u32>,
+}
+
+impl Model {
+    fn live(&self) -> Vec<u32> {
+        (0..SLOTS as u32)
+            .filter(|&i| self.receiver[i as usize] != NO_RECEIVER)
+            .collect()
+    }
+}
+
+/// Draws one admissible churn event and applies it to both the model
+/// and the field (leaves retune aimers first — the same driver the
+/// incremental-equivalence suite uses).
+fn churn_step(rng: &mut StdRng, model: &mut Model, field: &mut SinrField, arena: &Rect) {
+    let live = model.live();
+    let pick_receiver = |rng: &mut StdRng, me: u32, live: &[u32]| -> u32 {
+        let others: Vec<u32> = live.iter().copied().filter(|&j| j != me).collect();
+        if others.is_empty() || rng.gen_bool(0.15) {
+            me
+        } else {
+            others[rng.gen_range(0..others.len())]
+        }
+    };
+    let roll: f64 = rng.gen();
+    if live.len() < 3 || (roll < 0.3 && live.len() < SLOTS) {
+        let absent: Vec<u32> = (0..SLOTS as u32)
+            .filter(|&i| model.receiver[i as usize] == NO_RECEIVER)
+            .collect();
+        let node = absent[rng.gen_range(0..absent.len())];
+        let pos = sample::uniform_point(rng, arena);
+        let receiver = pick_receiver(rng, node, &live);
+        model.positions[node as usize] = pos;
+        model.receiver[node as usize] = receiver;
+        field.apply(&FieldEvent::Join {
+            node,
+            pos,
+            receiver,
+        });
+    } else if roll < 0.5 {
+        let victim = live[rng.gen_range(0..live.len())];
+        let survivors: Vec<u32> = live.iter().copied().filter(|&j| j != victim).collect();
+        for k in &survivors {
+            if model.receiver[*k as usize] == victim {
+                let receiver = pick_receiver(rng, *k, &survivors);
+                model.receiver[*k as usize] = receiver;
+                field.apply(&FieldEvent::Retune { node: *k, receiver });
+            }
+        }
+        model.receiver[victim as usize] = NO_RECEIVER;
+        field.apply(&FieldEvent::Leave { node: victim });
+    } else if roll < 0.8 {
+        let node = live[rng.gen_range(0..live.len())];
+        let pos = sample::uniform_point(rng, arena);
+        model.positions[node as usize] = pos;
+        field.apply(&FieldEvent::Move { node, pos });
+    } else {
+        let node = live[rng.gen_range(0..live.len())];
+        let receiver = pick_receiver(rng, node, &live);
+        model.receiver[node as usize] = receiver;
+        field.apply(&FieldEvent::Retune { node, receiver });
+    }
+}
+
+/// The gain floor the session derives — a finite interference cutoff,
+/// which is what gives the worklists non-trivial island structure.
+fn test_floor() -> f64 {
+    let cfg = PowerLoopConfig::for_range_scale(25.0);
+    cfg.floor_frac * cfg.budget.noise / cfg.control().max_power
+}
+
+fn seeded_model(rng: &mut StdRng, arena: &Rect, n0: usize) -> Model {
+    let mut model = Model {
+        positions: vec![Point::new(0.0, 0.0); SLOTS],
+        receiver: vec![NO_RECEIVER; SLOTS],
+    };
+    for i in 0..n0 {
+        model.positions[i] = sample::uniform_point(rng, arena);
+    }
+    for i in 0..n0 {
+        let mut r = rng.gen_range(0..n0 as u32);
+        if r == i as u32 {
+            r = (r + 1) % n0 as u32;
+        }
+        model.receiver[i] = r;
+    }
+    model
+}
+
+/// Reference closure of `seeds` under `j → hearers(j)`, restricted to
+/// live rows — the exact set the sequential worklist can ever touch.
+fn reference_closure(field: &SinrField, seeds: &[u32]) -> Vec<u32> {
+    let mut seen = vec![false; field.len()];
+    let mut queue: Vec<u32> = Vec::new();
+    for &s in seeds {
+        if field.is_live(s as usize) && !seen[s as usize] {
+            seen[s as usize] = true;
+            queue.push(s);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let j = queue[head];
+        head += 1;
+        for &a in field.hearers(j as usize) {
+            if field.is_live(a as usize) && !seen[a as usize] {
+                seen[a as usize] = true;
+                queue.push(a);
+            }
+        }
+    }
+    queue.sort_unstable();
+    queue
+}
+
+proptest! {
+    /// Partition soundness: islands cover exactly the seeded worklist
+    /// closure, they partition it, seeds distribute in order, and no
+    /// transposed fan-out edge crosses an island boundary.
+    #[test]
+    fn island_partition_is_sound(
+        seed in 0u64..24,
+        steps in 8usize..24,
+        walls_roll in 0u32..2,
+        subset_stride in 1usize..4,
+    ) {
+        let arena = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walls = (walls_roll == 1).then(|| wall_grid(&mut rng));
+        let mut model = seeded_model(&mut rng, &arena, 6);
+        let mut field = SinrField::build(
+            &GainModel::terrain(), LinkBudget::cdma64(),
+            &model.positions, &model.receiver, walls.as_ref(), test_floor(),
+        );
+        for _ in 0..steps {
+            churn_step(&mut rng, &mut model, &mut field, &arena);
+        }
+        // Seed a strided subset of the live rows (partial worklists —
+        // the warm-settle shape), with a duplicate thrown in.
+        let mut seeds: Vec<u32> = model.live().into_iter().step_by(subset_stride).collect();
+        if let Some(&s0) = seeds.first() {
+            seeds.push(s0);
+        }
+        let mut plan = IslandPlan::new();
+        plan.build(&field, &seeds);
+
+        let closure = reference_closure(&field, &seeds);
+        prop_assert_eq!(plan.closure_len(), closure.len());
+        let mut covered: Vec<u32> = Vec::new();
+        let mut widest = 0usize;
+        for k in 0..plan.islands() {
+            let members = plan.members(k);
+            prop_assert!(!members.is_empty(), "island {k} is empty");
+            widest = widest.max(members.len());
+            for &r in members {
+                covered.push(r);
+                prop_assert_eq!(plan.island_of(r), Some(k));
+                for &a in field.hearers(r as usize) {
+                    if field.is_live(a as usize) {
+                        prop_assert_eq!(
+                            plan.island_of(a), Some(k),
+                            "fan-out edge {} -> {} crosses out of island {}", r, a, k
+                        );
+                    }
+                }
+            }
+            // Island seeds appear in global seed order.
+            let isl_seeds = plan.seeds_of(k);
+            let expect: Vec<u32> = {
+                let mut taken = Vec::new();
+                for &s in &seeds {
+                    if plan.island_of(s) == Some(k) && !taken.contains(&s) {
+                        taken.push(s);
+                    }
+                }
+                taken
+            };
+            prop_assert_eq!(isl_seeds, &expect[..], "island {} seed order", k);
+        }
+        covered.sort_unstable();
+        prop_assert_eq!(covered, closure, "islands must partition the closure exactly");
+        prop_assert_eq!(plan.widest_island(), widest);
+    }
+
+    /// The tentpole contract: `relax_parallel` is bit-identical to
+    /// `relax` — powers, verdict, update count, and the drained dirty
+    /// set — at workers ∈ {1, 2, 8}, on both ladders, cold and warm,
+    /// through randomized churn with and without walls.
+    #[test]
+    fn parallel_relaxation_is_bit_identical_to_sequential(
+        seed in 100u64..120,
+        steps in 6usize..18,
+        ladder_roll in 0u32..2,
+        walls_roll in 0u32..2,
+    ) {
+        let geometric = ladder_roll == 1;
+        let arena = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walls = (walls_roll == 1).then(|| wall_grid(&mut rng));
+        let mut model = seeded_model(&mut rng, &arena, 8);
+        let mut field = SinrField::build(
+            &GainModel::terrain(), LinkBudget::cdma64(),
+            &model.positions, &model.receiver, walls.as_ref(), test_floor(),
+        );
+        let mut cfg = PowerLoopConfig::for_range_scale(25.0).control();
+        if geometric {
+            cfg.ladder = PowerLadder::Geometric { levels: 12 };
+        }
+
+        // Cold solve of the initial field.
+        let mut seq = ControlScratch::new();
+        let mut dirty_seq: Vec<u32> = Vec::new();
+        field.take_dirty(&mut dirty_seq);
+        let seq_rep = relax(&field, &cfg, &mut seq, false);
+        for workers in [1usize, 2, 8] {
+            let mut par = ControlScratch::new();
+            let mut isl = IslandScratch::new();
+            let rep = relax_parallel(&field, &cfg, &mut par, &mut isl, false, workers);
+            prop_assert_eq!(rep.verdict, seq_rep.verdict);
+            prop_assert_eq!(rep.updates, seq_rep.updates);
+            for (i, (a, b)) in par.powers.iter().zip(&seq.powers).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "cold link {} (workers {}, geometric {})", i, workers, geometric
+                );
+            }
+        }
+
+        // Warm tracking through churn: one sequential oracle, two
+        // parallel followers, all re-seeded from the same dirty rows.
+        // (Discrete ladders re-relax cold each slice, like sessions.)
+        let warm_ok = !geometric;
+        let mut followers: Vec<(usize, ControlScratch, IslandScratch)> = [2usize, 8]
+            .into_iter()
+            .map(|w| {
+                let mut sc = ControlScratch::new();
+                let mut is = IslandScratch::new();
+                relax_parallel(&field, &cfg, &mut sc, &mut is, false, w);
+                (w, sc, is)
+            })
+            .collect();
+        for step in 0..steps {
+            churn_step(&mut rng, &mut model, &mut field, &arena);
+            let mut dirty: Vec<u32> = Vec::new();
+            field.take_dirty(&mut dirty);
+            if warm_ok {
+                for &d in &dirty {
+                    seq.mark(d);
+                }
+            }
+            let seq_rep = relax(&field, &cfg, &mut seq, warm_ok);
+            for (w, sc, is) in followers.iter_mut() {
+                if warm_ok {
+                    for &d in &dirty {
+                        sc.mark(d);
+                    }
+                }
+                let rep = relax_parallel(&field, &cfg, sc, is, warm_ok, *w);
+                prop_assert_eq!(rep.verdict, seq_rep.verdict, "step {}", step);
+                prop_assert_eq!(rep.updates, seq_rep.updates, "step {}", step);
+                // The worklist drains completely on both paths: no
+                // stale membership flags survive a settle.
+                prop_assert_eq!(sc.pending(), 0, "parallel worklist must drain");
+                prop_assert_eq!(seq.pending(), 0, "sequential worklist must drain");
+                for (i, (a, b)) in sc.powers.iter().zip(&seq.powers).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "step {} link {} (workers {}, geometric {})", step, i, w, geometric
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// SIMD ≡ scalar bitwise on the adversarial lengths: empty, single,
+/// lane−1 / lane / lane+1 (the tail boundary), and a long row — over
+/// gains and powers with spread exponents so reassociation would show.
+#[test]
+fn simd_accumulation_matches_scalar_bitwise() {
+    let mut s = 0x5EEDu64;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mant = (s >> 11) as f64 / (1u64 << 53) as f64;
+        let exp = ((s >> 3) % 60) as i32 - 30;
+        (mant + 0.5) * 2f64.powi(exp)
+    };
+    let powers: Vec<f64> = (0..512).map(|_| next()).collect();
+    for n in [0, 1, LANES - 1, LANES, LANES + 1, 2 * LANES, 97, 300] {
+        let gains: Vec<f64> = (0..n).map(|_| next()).collect();
+        let ids: Vec<u32> = (0..n as u32).map(|k| (k * 37) % 512).collect();
+        let a = weighted_sum_scalar(&ids, &gains, |j| powers[j as usize]);
+        let b = weighted_sum_simd(&ids, &gains, |j| powers[j as usize]);
+        assert_eq!(a.to_bits(), b.to_bits(), "length {n}");
+    }
+}
