@@ -10,7 +10,11 @@
 //! win: under the flat index the lighthouse's watermark inflates every
 //! later join's reverse-reach scan to its radius; the stratified index
 //! keeps the short tier's scans short and must deliver ≥ 2× join
-//! throughput at N = 4k.
+//! throughput at N = 4k. A `resident-vs-replan` arm (schema v2) runs
+//! metropolis churn in slices through the per-slice replanning batched
+//! executor and the persistent spatial-ownership resident executor,
+//! asserting bit-identity and a healthy shard structure (shard count
+//! > 1, bounded border-event fraction) and recording the speedup.
 //!
 //! Run via `cargo bench -p minim-bench --bench events`; CI uploads the
 //! JSON as an artifact so the trajectory accumulates across commits.
@@ -23,9 +27,12 @@ use minim_net::event::{apply_topology, Event};
 use minim_net::workload::{
     MixWorkload, MovementWorkload, Placement, PowerRaiseWorkload, RangeDist,
 };
-use minim_net::{Network, NodeConfig};
+use minim_net::{BatchScratch, Network, NodeConfig};
 use minim_sim::json::Json;
-use minim_sim::runner::{run_events, run_events_batched, ValidationMode};
+use minim_sim::runner::{
+    run_events, run_events_batched, run_events_batched_with, ResidentExecutor, ShardHealth,
+    ValidationMode,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -273,12 +280,135 @@ fn main() {
         ]));
     }
 
+    // Resident vs replan: metropolis churn in slices, the per-slice
+    // replanning batched executor (warm `BatchScratch`, so it pays
+    // planning work but not planning allocations) against the
+    // persistent spatial-ownership resident executor. Same event
+    // slices, same strategy — the arms must be bit-identical; the
+    // resident arm additionally reports its shard structure.
+    let mut resident_vs_replan: Vec<Json> = Vec::new();
+    {
+        let n = 4_000usize;
+        let n_slices = 20usize;
+        let per_slice = 200usize;
+        let base = base_net(n, seed, false);
+        let (placement, _) = metro_placement(seed);
+        let mix = MixWorkload {
+            steps: n_slices * per_slice,
+            join_prob: 0.3,
+            leave_prob: 0.3,
+            maxdisp: 60.0,
+            placement,
+            ranges: RangeDist::paper(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A2);
+        let mut ghost = base.clone();
+        let mut events = Vec::with_capacity(n_slices * per_slice);
+        for _ in 0..n_slices * per_slice {
+            let e = mix.next_event(&ghost, &mut rng);
+            apply_topology(&mut ghost, &e);
+            events.push(e);
+        }
+        let slices: Vec<&[Event]> = events.chunks(per_slice).collect();
+        let reps = 3usize;
+
+        let run_replan = || {
+            let mut net = base.clone();
+            let mut s = Minim::default();
+            let mut scratch = BatchScratch::default();
+            let t = Instant::now();
+            for slice in &slices {
+                run_events_batched_with(
+                    &mut s,
+                    &mut net,
+                    slice,
+                    ValidationMode::Off,
+                    WORKERS,
+                    &mut scratch,
+                );
+            }
+            (t.elapsed().as_secs_f64(), net)
+        };
+        let run_resident = || {
+            let mut net = base.clone();
+            let mut s = Minim::default();
+            let mut exec = ResidentExecutor::new(WORKERS);
+            let mut health = ShardHealth::default();
+            let t = Instant::now();
+            for slice in &slices {
+                let m = exec.run(&mut s, &mut net, slice, ValidationMode::Off);
+                if let Some(h) = &m.shard_health {
+                    health.absorb(h);
+                }
+            }
+            (t.elapsed().as_secs_f64(), net, health)
+        };
+
+        let mut replan_times = Vec::with_capacity(reps);
+        let mut resident_times = Vec::with_capacity(reps);
+        let mut replan_net = None;
+        let mut resident_out = None;
+        for _ in 0..reps {
+            let (secs, net) = run_replan();
+            replan_times.push(secs);
+            replan_net = Some(net);
+            let (secs, net, health) = run_resident();
+            resident_times.push(secs);
+            resident_out = Some((net, health));
+        }
+        let (resident_net, health) = resident_out.expect("reps >= 1");
+        let replan_net = replan_net.expect("reps >= 1");
+        assert_eq!(
+            resident_net.snapshot_assignment(),
+            replan_net.snapshot_assignment(),
+            "resident arm must be bit-identical to the replanning arm"
+        );
+        assert_eq!(resident_net.describe(), replan_net.describe());
+        assert!(
+            health.shards > 1,
+            "metropolis churn must split across shards, got {}",
+            health.shards
+        );
+        assert!(
+            health.border_fraction() < 0.5,
+            "border-event fraction must stay bounded, got {:.3}",
+            health.border_fraction()
+        );
+        replan_times.sort_by(f64::total_cmp);
+        resident_times.sort_by(f64::total_cmp);
+        let replan_secs = replan_times[reps / 2];
+        let resident_secs = resident_times[reps / 2];
+        let replan_eps = events.len() as f64 / replan_secs;
+        let resident_eps = events.len() as f64 / resident_secs;
+        let speedup = resident_eps / replan_eps;
+        println!(
+            "resident-vs-replan/N={n}: replan {replan_eps:>9.0} events/s | resident {resident_eps:>9.0} events/s | speedup {speedup:.2}x | {} shards, border {:.3}",
+            health.shards,
+            health.border_fraction(),
+        );
+        if cores > 1 && speedup < 1.0 {
+            eprintln!("WARNING: resident executor slower than per-slice replanning at N={n}");
+        }
+        resident_vs_replan.push(Json::obj(vec![
+            ("n", Json::Num(n as f64)),
+            ("slices", Json::Num(n_slices as f64)),
+            ("events", Json::Num(events.len() as f64)),
+            ("replan_events_per_sec", Json::Num(replan_eps)),
+            ("resident_events_per_sec", Json::Num(resident_eps)),
+            ("speedup", Json::Num(speedup)),
+            ("shards", Json::Num(health.shards as f64)),
+            ("widest_shard", Json::Num(health.widest_shard as f64)),
+            ("border_fraction", Json::Num(health.border_fraction())),
+        ]));
+    }
+
     let doc = Json::obj(vec![
-        ("schema", Json::Str("minim-bench-events/1".to_string())),
+        ("schema", Json::Str("minim-bench-events/2".to_string())),
         ("cores", Json::Num(cores as f64)),
         ("batch_workers", Json::Num(WORKERS as f64)),
         ("results", Json::Arr(results)),
         ("lighthouse", Json::Arr(lighthouse)),
+        ("resident-vs-replan", Json::Arr(resident_vs_replan)),
     ]);
     std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_events.json");
     println!("wrote {out_path}");

@@ -8,7 +8,8 @@
 //! minim-lab list
 //! minim-lab show <preset>
 //! minim-lab run <preset | spec.json> [--runs K] [--seed S] [--workers W]
-//!                                    [--batched P] [--format table|json|csv|all]
+//!                                    [--batched P] [--resident P]
+//!                                    [--format table|json|csv|all]
 //!                                    [--out DIR] [--quiet]
 //! ```
 //!
@@ -19,9 +20,13 @@
 //!   stderr. `--runs/--seed/--workers` override the spec's defaults;
 //!   `--batched P` switches each replicate to the wave-parallel
 //!   batched executor with `P` planning threads (bit-identical
-//!   results; the knob for large-N presets like `metropolis`);
-//!   `--format` picks the stdout rendering (default `table`); `--out
-//!   DIR` additionally writes `<name>.json` and `<name>.csv`.
+//!   results); `--resident P` instead keeps a persistent
+//!   spatial-ownership executor alive across a replicate's slices —
+//!   still bit-identical, and the knob for sustained-churn presets
+//!   like `metropolis`, whose shard health (shard count, border-event
+//!   fraction, events/sec) is printed with the summary; `--format`
+//!   picks the stdout rendering (default `table`); `--out DIR`
+//!   additionally writes `<name>.json` and `<name>.csv`.
 
 use minim_sim::scenario::{Scenario, ScenarioSpec, SweepProgress, SweepResult};
 use minim_sim::{ascii_plot, presets, Execution};
@@ -33,7 +38,7 @@ fn usage() -> ! {
         "minim-lab — declarative scenario lab\n\n\
          USAGE:\n  minim-lab list\n  minim-lab show <preset>\n  \
          minim-lab run <preset | spec.json> [--runs K] [--seed S] [--workers W]\n\
-         \u{20}                                  [--batched P] [--format table|json|csv|all] [--out DIR] [--quiet]\n\n\
+         \u{20}                                  [--batched P] [--resident P] [--format table|json|csv|all] [--out DIR] [--quiet]\n\n\
          Presets: see `minim-lab list`. A spec file is the JSON printed by `show`."
     );
     std::process::exit(2);
@@ -92,6 +97,7 @@ struct RunArgs {
     seed: Option<u64>,
     workers: Option<usize>,
     batched: Option<usize>,
+    resident: Option<usize>,
     format: String,
     out: Option<PathBuf>,
     quiet: bool,
@@ -104,6 +110,7 @@ fn parse_run_args(argv: &[String]) -> RunArgs {
         seed: None,
         workers: None,
         batched: None,
+        resident: None,
         format: "table".into(),
         out: None,
         quiet: false,
@@ -149,6 +156,15 @@ fn parse_run_args(argv: &[String]) -> RunArgs {
                         .ok()
                         .filter(|&n: &usize| n > 0)
                         .unwrap_or_else(|| die("--batched needs a positive worker count")),
+                )
+            }
+            "--resident" => {
+                args.resident = Some(
+                    parse_next(&mut i, "--resident")
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| die("--resident needs a positive worker count")),
                 )
             }
             "--format" => {
@@ -205,6 +221,9 @@ fn cmd_run(argv: &[String]) -> ExitCode {
     if let Some(planners) = args.batched {
         cfg.execution = Execution::Batched { workers: planners };
     }
+    if let Some(workers) = args.resident {
+        cfg.execution = Execution::Resident { workers };
+    }
     let scenario = Scenario::new(spec).unwrap_or_else(|e| die(&e.to_string()));
     if !args.quiet {
         eprintln!(
@@ -243,6 +262,15 @@ fn emit(args: &RunArgs, result: &SweepResult) -> ExitCode {
                 result.runs,
                 result.wall_clock
             );
+            if let Some(h) = &result.shard_health {
+                println!(
+                    "shards: {} active, widest {}, border fraction {:.3}, {:.0} events/s",
+                    h.shards,
+                    h.widest_shard,
+                    h.border_fraction(),
+                    h.events_per_sec
+                );
+            }
             if args.format == "all" {
                 println!("{}", result.to_json_string());
                 print!("{}", result.to_csv());

@@ -49,6 +49,18 @@ pub fn cell_coord(v: f64, cell_size: f64) -> i32 {
     }
 }
 
+/// The inclusive cell-coordinate range covering the interval
+/// `[center - radius, center + radius]` on one axis — the single
+/// authority for turning a disc into the rectangle of cells that
+/// (conservatively) covers it. Both the batch planner's claim
+/// footprints and the persistent ownership map's region queries go
+/// through here, so the two layers agree cell-for-cell on what a
+/// given reach covers.
+#[inline]
+pub fn cell_cover(center: f64, radius: f64, cell_size: f64) -> std::ops::RangeInclusive<i32> {
+    cell_coord(center - radius, cell_size)..=cell_coord(center + radius, cell_size)
+}
+
 /// Largest per-axis span (in cells) the dense window may grow to;
 /// cells outside go to the sparse overflow map. 4096² cells × a
 /// `Vec` each ≈ 400 MB worst case is never reached in practice —

@@ -49,10 +49,46 @@
 
 use crate::event::Event;
 use crate::Network;
-use minim_geom::grid::cell_coord;
+use minim_geom::grid::{cell_coord, cell_cover};
 use minim_geom::Point;
 use minim_graph::{NodeId, UnionFind};
 use std::collections::HashMap;
+use std::mem;
+
+/// Recycled storage for repeated [`BatchPlan`] planning — the
+/// batch-layer sibling of the rewire path's `RewireScratch` and
+/// `minim-power`'s `ControlScratch`.
+///
+/// [`BatchPlan::new`] allocates a union-find, two hash maps, and the
+/// shard vectors on every call; a steady-state caller replanning every
+/// slice (the per-slice executor, the events bench's replan arm) pays
+/// those allocations per slice. Planning through
+/// [`BatchPlan::new_with`] instead draws every buffer from this
+/// scratch, and [`BatchPlan::recycle`] hands the plan's own containers
+/// back — once warm, replanning a bounded slice shape performs **zero
+/// heap allocations** (pinned by `tests/alloc_smoke.rs`).
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Event-conflict union-find, `reset` per plan.
+    uf: UnionFind,
+    /// Claimed cell → first claiming event, cleared per plan.
+    cell_owner: HashMap<(i32, i32), usize>,
+    /// In-slice ghost positions, cleared per plan.
+    ghost: HashMap<NodeId, Point>,
+    /// Per-event anchor buffer.
+    anchors: Vec<Point>,
+    /// Union-find root → shard index, cleared per plan.
+    shard_of_root: HashMap<usize, usize>,
+    /// Recycled outer shard vector (inner vectors cleared, capacity
+    /// kept) from the last [`BatchPlan::recycle`].
+    shards_spare: Vec<Vec<usize>>,
+    /// Spare inner shard vectors beyond what the last plan used.
+    inner_pool: Vec<Vec<usize>>,
+    /// Recycled join-id vector.
+    join_ids_spare: Vec<Option<NodeId>>,
+    /// Recycled claim-cell → shard map.
+    cell_shard_spare: HashMap<(i32, i32), usize>,
+}
 
 /// A partition of an event slice into spatially independent shards,
 /// plus the sequential pre-assignment of join ids.
@@ -79,6 +115,19 @@ impl BatchPlan {
     /// `net` nor created by an earlier event of the slice — such a
     /// sequence would panic during execution anyway.
     pub fn new(net: &Network, events: &[Event]) -> BatchPlan {
+        BatchPlan::new_with(&mut BatchScratch::default(), net, events)
+    }
+
+    /// [`BatchPlan::new`], drawing every working buffer from `scratch`
+    /// instead of allocating — pair with [`BatchPlan::recycle`] so a
+    /// caller replanning every slice reaches a zero-allocation steady
+    /// state.
+    ///
+    /// # Panics
+    /// Panics if an event references a node that is neither present in
+    /// `net` nor created by an earlier event of the slice — such a
+    /// sequence would panic during execution anyway.
+    pub fn new_with(scratch: &mut BatchScratch, net: &Network, events: &[Event]) -> BatchPlan {
         // The range bound every claim radius is derived from: the
         // network's tier-derived bound (which covers every *present*
         // range at plan time) joined with every range the events
@@ -102,7 +151,8 @@ impl BatchPlan {
         // Ghost positions: where each node is *at that point of the
         // slice* (joins and moves update it; the base network answers
         // for everyone else).
-        let mut ghost: HashMap<NodeId, Point> = HashMap::new();
+        let ghost = &mut scratch.ghost;
+        ghost.clear();
         let pos_of = |ghost: &HashMap<NodeId, Point>, net: &Network, id: NodeId| -> Point {
             ghost.get(&id).copied().unwrap_or_else(|| {
                 net.config(id)
@@ -112,10 +162,14 @@ impl BatchPlan {
         };
 
         let mut next_join = net.peek_next_id().0;
-        let mut join_ids = vec![None; events.len()];
-        let mut uf = UnionFind::new(events.len());
-        let mut cell_owner: HashMap<(i32, i32), usize> = HashMap::new();
-        let mut anchors: Vec<Point> = Vec::with_capacity(2);
+        let mut join_ids = mem::take(&mut scratch.join_ids_spare);
+        join_ids.clear();
+        join_ids.resize(events.len(), None);
+        let uf = &mut scratch.uf;
+        uf.reset(events.len());
+        let cell_owner = &mut scratch.cell_owner;
+        cell_owner.clear();
+        let anchors = &mut scratch.anchors;
 
         for (i, e) in events.iter().enumerate() {
             anchors.clear();
@@ -132,31 +186,27 @@ impl BatchPlan {
                     3.0 * bound
                 }
                 Event::Leave { node } => {
-                    let p = pos_of(&ghost, net, *node);
+                    let p = pos_of(ghost, net, *node);
                     ghost.remove(node);
                     anchors.push(p);
                     3.0 * bound
                 }
                 Event::Move { node, to } => {
-                    let from = pos_of(&ghost, net, *node);
+                    let from = pos_of(ghost, net, *node);
                     ghost.insert(*node, *to);
                     anchors.push(from);
                     anchors.push(*to);
                     3.0 * bound
                 }
                 Event::SetRange { node, .. } => {
-                    anchors.push(pos_of(&ghost, net, *node));
+                    anchors.push(pos_of(ghost, net, *node));
                     4.0 * bound
                 }
             };
 
-            for a in &anchors {
-                let min_cx = cell_coord(a.x - claim, cell);
-                let max_cx = cell_coord(a.x + claim, cell);
-                let min_cy = cell_coord(a.y - claim, cell);
-                let max_cy = cell_coord(a.y + claim, cell);
-                for cx in min_cx..=max_cx {
-                    for cy in min_cy..=max_cy {
+            for a in anchors.iter() {
+                for cx in cell_cover(a.x, claim, cell) {
+                    for cy in cell_cover(a.y, claim, cell) {
                         match cell_owner.entry((cx, cy)) {
                             std::collections::hash_map::Entry::Occupied(o) => {
                                 uf.union(i, *o.get());
@@ -170,21 +220,35 @@ impl BatchPlan {
             }
         }
 
-        // Group events by root, shards ordered by first event.
-        let mut shard_of_root: HashMap<usize, usize> = HashMap::new();
-        let mut shards: Vec<Vec<usize>> = Vec::new();
+        // Group events by root, shards ordered by first event. Shard
+        // vectors come back from the recycle pools (cleared, capacity
+        // kept) before any fresh allocation.
+        let shard_of_root = &mut scratch.shard_of_root;
+        shard_of_root.clear();
+        let mut shards = mem::take(&mut scratch.shards_spare);
+        let mut live = 0usize;
         for i in 0..events.len() {
             let root = uf.find(i);
             let s = *shard_of_root.entry(root).or_insert_with(|| {
-                shards.push(Vec::new());
-                shards.len() - 1
+                if live == shards.len() {
+                    shards.push(scratch.inner_pool.pop().unwrap_or_default());
+                }
+                live += 1;
+                live - 1
             });
             shards[s].push(i);
         }
-        let cell_shard = cell_owner
-            .into_iter()
-            .map(|(c, owner)| (c, shard_of_root[&uf.find(owner)]))
-            .collect();
+        scratch.inner_pool.extend(shards.drain(live..).map(|mut v| {
+            v.clear();
+            v
+        }));
+        let mut cell_shard = mem::take(&mut scratch.cell_shard_spare);
+        cell_shard.clear();
+        cell_shard.extend(
+            cell_owner
+                .drain()
+                .map(|(c, owner)| (c, shard_of_root[&uf.find(owner)])),
+        );
 
         BatchPlan {
             shards,
@@ -192,6 +256,26 @@ impl BatchPlan {
             cell,
             cell_shard,
         }
+    }
+
+    /// Returns this plan's containers to `scratch` (cleared, capacity
+    /// kept) so the next [`BatchPlan::new_with`] call allocates
+    /// nothing.
+    pub fn recycle(self, scratch: &mut BatchScratch) {
+        let BatchPlan {
+            mut shards,
+            mut join_ids,
+            cell: _,
+            mut cell_shard,
+        } = self;
+        for v in &mut shards {
+            v.clear();
+        }
+        scratch.shards_spare = shards;
+        join_ids.clear();
+        scratch.join_ids_spare = join_ids;
+        cell_shard.clear();
+        scratch.cell_shard_spare = cell_shard;
     }
 
     /// The shards, ordered by first event; each shard lists event

@@ -50,7 +50,9 @@ use minim_graph::conflict;
 use minim_graph::{Assignment, Color, DiGraph, NodeId};
 
 pub mod batch;
-pub use batch::BatchPlan;
+pub mod shardmap;
+pub use batch::{BatchPlan, BatchScratch};
+pub use shardmap::{Disposition, ShardMap, SliceRoute};
 
 /// A node's radio configuration: where it is and how far it transmits.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -46,7 +46,7 @@ pub mod scenario;
 pub use compare::{paired_compare, PairedComparison};
 pub use metrics::{Stats, Table};
 pub use plot::ascii_plot;
-pub use runner::{run_events, run_events_batched, Execution};
+pub use runner::{run_events, run_events_batched, Execution, ResidentExecutor, ShardHealth};
 pub use scenario::{
     ExperimentConfig, Measure, PhaseSpec, Scenario, ScenarioSpec, SweepAxis, SweepResult,
     TopologyFamily,

@@ -140,18 +140,25 @@ pub fn corridor_joins() -> ScenarioSpec {
 
 /// The large-N regime: a metropolis-scale arena (40× the paper's side
 /// length) dotted with dense, well-separated Poisson-clustered hot
-/// spots, and joins in the thousands. This is the workload the
-/// dense-slab storage and the sharded batch executor exist for — run
-/// it with `Execution::Batched { workers }` (`minim-lab run metropolis
-/// --batched 8`) and the independent hot spots execute concurrently
-/// within each replicate, bit-identically to sequential execution.
+/// spots, joins in the thousands, then a **sustained-churn phase**
+/// (interleaved joins, leaves, and moves on the standing population).
+/// This is the workload the dense-slab storage and the sharded
+/// executors exist for — run it with `Execution::Batched { workers }`
+/// (`minim-lab run metropolis --batched 8`) for per-slice sharding, or
+/// `Execution::Resident { workers }` (`--resident 8`) to keep
+/// persistent spatial-ownership shards alive across the churn, both
+/// bit-identical to sequential execution. The churn phase is what
+/// actually exercises the resident executor's steady state: slice
+/// after slice against standing shard subnetworks, with the lab
+/// reporting shard health (`shards`, `widest`, border fraction,
+/// events/sec) from the run.
 ///
 /// BBB is excluded: recoloring the entire network at every one of
 /// thousands of events is O(N²·deg) per replicate and adds nothing to
 /// the large-N comparison the distributed strategies are studied for.
 pub fn metropolis() -> ScenarioSpec {
     ScenarioSpec::new("metropolis")
-        .summary("large-N metropolis: clustered Poisson joins in the thousands, sweep N")
+        .summary("large-N metropolis: clustered joins in the thousands plus sustained churn")
         .arena(Rect::new(0.0, 0.0, 4000.0, 4000.0))
         .topology(TopologyFamily::Clustered {
             clusters: 40,
@@ -159,6 +166,12 @@ pub fn metropolis() -> ScenarioSpec {
         })
         .strategies(vec![StrategyKind::Minim, StrategyKind::Cp])
         .measured_phase(PhaseSpec::Join { count: 0 })
+        .measured_phase(PhaseSpec::Mix {
+            steps: 400,
+            join_prob: 0.3,
+            leave_prob: 0.3,
+            maxdisp: 60.0,
+        })
         .sweep(SweepAxis::JoinCount(vec![1000, 2000, 4000]))
         .runs(3)
 }

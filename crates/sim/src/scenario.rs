@@ -22,7 +22,9 @@
 use crate::json::{self, Json};
 use crate::metrics::{Stats, Table};
 use crate::par::{default_workers, parallel_map};
-use crate::runner::{run_events, run_events_batched, Execution, ValidationMode};
+use crate::runner::{
+    run_events, run_events_batched, Execution, ResidentExecutor, ShardHealth, ValidationMode,
+};
 use minim_core::StrategyKind;
 use minim_geom::sample::child_seed;
 use minim_geom::{sample, Point, Rect, Segment};
@@ -562,6 +564,13 @@ pub struct SweepResult {
     pub total_events: u64,
     /// Wall-clock duration of the sweep (not part of equality).
     pub wall_clock: Duration,
+    /// Resident-path partition health, merged over every resident run
+    /// of the sweep (all points × replicates × strategies); `None`
+    /// when nothing ran on [`Execution::Resident`]. The counters are
+    /// derived from routing and topology alone, so they are
+    /// bit-identical across worker counts (`ShardHealth`'s equality
+    /// already excludes the throughput field).
+    pub shard_health: Option<ShardHealth>,
 }
 
 impl PartialEq for SweepResult {
@@ -682,6 +691,20 @@ impl SweepResult {
                 Json::Num(self.wall_clock.as_secs_f64() * 1e3),
             ),
             (
+                "shard_health",
+                match &self.shard_health {
+                    None => Json::Null,
+                    Some(h) => Json::obj(vec![
+                        ("shards", Json::Num(h.shards as f64)),
+                        ("widest_shard", Json::Num(h.widest_shard as f64)),
+                        ("border_events", Json::Num(h.border_events as f64)),
+                        ("events", Json::Num(h.events as f64)),
+                        ("border_fraction", Json::Num(h.border_fraction())),
+                        ("events_per_sec", Json::Num(h.events_per_sec)),
+                    ]),
+                },
+            ),
+            (
                 "points",
                 Json::Arr(
                     self.points
@@ -727,6 +750,11 @@ struct ReplicateOutcome {
     per_report_events: Vec<u64>,
     /// Events executed over the whole replicate.
     total_events: u64,
+    /// Merged resident-path health across every strategy run of the
+    /// replicate (`None` when nothing ran resident). Routing is
+    /// color-blind, so the counters are identical across strategies —
+    /// merging loses nothing.
+    shard_health: Option<ShardHealth>,
 }
 
 impl Scenario {
@@ -983,6 +1011,7 @@ impl Scenario {
         let per_round = matches!(spec.sweep, SweepAxis::Rounds(_));
         let mut points = Vec::new();
         let mut total_events = 0u64;
+        let mut shard_health: Option<ShardHealth> = None;
         for (pi, plan) in plans.iter().enumerate() {
             let seeds: Vec<u64> = (0..cfg.runs)
                 .map(|rep| cfg.replicate_seed(pi, rep))
@@ -1009,6 +1038,13 @@ impl Scenario {
                 });
             }
             total_events += outcomes.iter().map(|o| o.total_events).sum::<u64>();
+            for o in &outcomes {
+                if let Some(h) = &o.shard_health {
+                    shard_health
+                        .get_or_insert_with(ShardHealth::default)
+                        .absorb(h);
+                }
+            }
             on_point(SweepProgress {
                 done: pi + 1,
                 total: plans.len(),
@@ -1027,6 +1063,7 @@ impl Scenario {
             points,
             total_events,
             wall_clock: started.elapsed(),
+            shard_health,
         }
     }
 
@@ -1315,8 +1352,15 @@ fn generate_phase(
 }
 
 /// Runs one round of events under the configured [`Execution`].
+///
+/// `resident` is the replicate's long-lived executor slot: it is
+/// created on the first [`Execution::Resident`] round and reused for
+/// every later round of the same strategy run, so shard state (and
+/// its allocation discipline) survives across rounds and phases —
+/// that persistence is the whole point of the resident path.
 fn run_round(
     execution: Execution,
+    resident: &mut Option<ResidentExecutor>,
     s: &mut (dyn minim_core::RecodingStrategy + Sync),
     net: &mut Network,
     round: &[Event],
@@ -1326,6 +1370,9 @@ fn run_round(
         Execution::Batched { workers } => {
             run_events_batched(s, net, round, ValidationMode::Off, workers)
         }
+        Execution::Resident { workers } => resident
+            .get_or_insert_with(|| ResidentExecutor::new(workers))
+            .run(s, net, round, ValidationMode::Off),
     }
 }
 
@@ -1377,7 +1424,13 @@ fn run_replicate(
         per_report_events.push(cum_events);
     }
 
-    let per_strategy = spec
+    let mut shard_health: Option<ShardHealth> = None;
+    let absorb = |m: &crate::runner::PhaseMetrics, health: &mut Option<ShardHealth>| {
+        if let Some(h) = &m.shard_health {
+            health.get_or_insert_with(ShardHealth::default).absorb(h);
+        }
+    };
+    let per_strategy: Vec<Vec<(f64, f64)>> = spec
         .strategies
         .iter()
         .map(|&kind| {
@@ -1385,10 +1438,17 @@ fn run_replicate(
             for wall in &walls {
                 net.add_obstacle(*wall);
             }
+            // One resident-executor slot per strategy run: the
+            // network persists across phases, so the shard state can
+            // too (strategy instances are rebuilt per phase, but the
+            // executor only holds spatial state, never strategy
+            // state).
+            let mut resident: Option<ResidentExecutor> = None;
             for phase in &base_events {
                 let mut s = kind.build();
                 for round in phase {
-                    run_round(execution, &mut *s, &mut net, round);
+                    let m = run_round(execution, &mut resident, &mut *s, &mut net, round);
+                    absorb(&m, &mut shard_health);
                 }
             }
             let base_color = net.max_color_index() as f64;
@@ -1397,7 +1457,8 @@ fn run_replicate(
             for phase in &measured_events {
                 let mut s = kind.build();
                 for round in phase {
-                    let m = run_round(execution, &mut *s, &mut net, round);
+                    let m = run_round(execution, &mut resident, &mut *s, &mut net, round);
+                    absorb(&m, &mut shard_health);
                     cum_recodings += m.recodings as f64;
                     if per_round {
                         reports.push((
@@ -1422,6 +1483,7 @@ fn run_replicate(
         per_strategy,
         per_report_events,
         total_events: cum_events,
+        shard_health,
     }
 }
 

@@ -22,7 +22,8 @@
 
 use minim_geom::{Point, Segment};
 use minim_graph::NodeId;
-use minim_net::{Network, NodeConfig};
+use minim_net::event::Event;
+use minim_net::{BatchPlan, BatchScratch, Network, NodeConfig, ShardMap, SliceRoute};
 use minim_power::{PowerLoopConfig, PowerSession};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -178,6 +179,60 @@ fn steady_state_rewire_allocates_nothing() {
         0,
         "steady-state island-parallel settles (inline, workers = 1) must be \
          allocation-free, saw {} allocations over 25 cycles",
+        after - before
+    );
+
+    // --- Phase 4: batched-churn planning and resident routing. ---
+    // The two planning layers of the churn executors are read-only
+    // against the network, so an identical slice replans/reroutes to
+    // the identical result every cycle — the steady-state shape of a
+    // scenario phase. A warm `BatchScratch` must absorb every buffer
+    // `BatchPlan::new_with` needs (with `recycle` handing the plan's
+    // own containers back), and a warm `ShardMap` + `SliceRoute` must
+    // route from recycled buffers once annexation has settled.
+    let slice = vec![
+        Event::Move {
+            node: mover,
+            to: Point::new(62.0, 10.0),
+        },
+        Event::Move {
+            node: mover,
+            to: Point::new(10.0, 10.0),
+        },
+        Event::SetRange {
+            node: cycler,
+            range: 55.0,
+        },
+        Event::SetRange {
+            node: cycler,
+            range: 20.0,
+        },
+        Event::Leave { node: churner },
+        Event::Join { cfg: churn_cfg },
+    ];
+
+    let mut scratch = BatchScratch::default();
+    let mut map = ShardMap::seed(&net, 4);
+    let mut route = SliceRoute::default();
+    for _ in 0..12 {
+        let plan = BatchPlan::new_with(&mut scratch, &net, &slice);
+        plan.recycle(&mut scratch);
+        map.route(&net, &slice, &mut route);
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..25 {
+        let plan = BatchPlan::new_with(&mut scratch, &net, &slice);
+        plan.recycle(&mut scratch);
+        map.route(&net, &slice, &mut route);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batch planning + shard routing must be allocation-free, \
+         saw {} allocations over 25 cycles",
         after - before
     );
 }
