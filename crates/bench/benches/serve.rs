@@ -1,0 +1,155 @@
+//! Durability overhead trajectory → `BENCH_serve.json`.
+//!
+//! Measures the price of crash safety: metropolis churn driven through
+//! the bare strategy (no durability), through a [`minim_serve::Engine`]
+//! fsyncing every event (`sync_every = 1`, the full-acknowledgment
+//! posture), and through an engine batching fsyncs (`sync_every = 64`)
+//! with periodic snapshot rotation. Each journaled arm must finish
+//! **bit-identical** to the bare arm — the engine is a transparent
+//! wrapper — and the JSON records events/sec per arm plus the
+//! journaled/bare overhead ratio.
+//!
+//! Run via `cargo bench -p minim-bench --bench serve`; override the
+//! event count with `MINIM_BENCH_SERVE_N=2000` and the output path
+//! with `MINIM_BENCH_SERVE_OUT=path.json`.
+
+use minim_core::StrategyKind;
+use minim_net::event::{apply_topology, Event};
+use minim_net::workload::{MixWorkload, Placement, RangeDist};
+use minim_net::Network;
+use minim_serve::{Engine, EngineOptions};
+use minim_sim::json::Json;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const CELL_HINT: f64 = 30.5;
+
+/// A valid-in-order churn stream over the paper arena.
+fn churn_events(n: usize, seed: u64) -> Vec<Event> {
+    let mix = MixWorkload {
+        steps: n,
+        join_prob: 0.45,
+        leave_prob: 0.2,
+        maxdisp: 60.0,
+        placement: Placement::Uniform {
+            arena: minim_geom::Rect::paper_arena(),
+        },
+        ranges: RangeDist::paper(),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ghost = Network::new(CELL_HINT);
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let e = mix.next_event(&ghost, &mut rng);
+        apply_topology(&mut ghost, &e);
+        events.push(e);
+    }
+    events
+}
+
+/// Bare arm: the strategy with no durability layer. Returns
+/// (median seconds, final digest).
+fn run_bare(events: &[Event], reps: usize) -> (f64, u64) {
+    let mut times = Vec::with_capacity(reps);
+    let mut digest = 0;
+    for _ in 0..reps {
+        let mut net = Network::new(CELL_HINT);
+        let mut s = StrategyKind::Minim.build();
+        let t = Instant::now();
+        for e in events {
+            s.apply(&mut net, e);
+        }
+        times.push(t.elapsed().as_secs_f64());
+        digest = net.state_digest();
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], digest)
+}
+
+/// Journaled arm: the same events through an [`Engine`] over a fresh
+/// temp directory per rep. Returns (median seconds, final digest).
+fn run_journaled(
+    events: &[Event],
+    reps: usize,
+    sync_every: u64,
+    snapshot_every: u64,
+) -> (f64, u64) {
+    let mut times = Vec::with_capacity(reps);
+    let mut digest = 0;
+    for rep in 0..reps {
+        let dir = std::env::temp_dir().join(format!(
+            "minim-bench-serve-{}-{sync_every}-{snapshot_every}-{rep}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = EngineOptions {
+            strategy: StrategyKind::Minim,
+            snapshot_every,
+            sync_every,
+            cell_hint: CELL_HINT,
+            flat: false,
+        };
+        let mut eng = Engine::open_dir(&dir, opts).expect("open engine");
+        let t = Instant::now();
+        for e in events {
+            eng.apply(e).expect("journaled apply");
+        }
+        eng.sync().expect("final sync");
+        times.push(t.elapsed().as_secs_f64());
+        digest = eng.net().state_digest();
+        drop(eng);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], digest)
+}
+
+fn main() {
+    let n: usize = std::env::var("MINIM_BENCH_SERVE_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000);
+    let out_path = std::env::var("MINIM_BENCH_SERVE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+    let reps = 3usize;
+    let events = churn_events(n, 0x5E21E);
+
+    let (bare_secs, bare_digest) = run_bare(&events, reps);
+    let bare_eps = n as f64 / bare_secs;
+    println!("serve/bare:            {bare_eps:>9.0} events/s ({bare_secs:.3}s, N={n})");
+
+    let mut arms: Vec<Json> = Vec::new();
+    for (label, sync_every, snapshot_every) in [
+        ("journal-sync1", 1u64, 0u64),
+        ("journal-sync64", 64, 0),
+        ("journal-rotating", 64, 1_000),
+    ] {
+        let (secs, digest) = run_journaled(&events, reps, sync_every, snapshot_every);
+        assert_eq!(
+            digest, bare_digest,
+            "{label}: the engine must be a bit-transparent wrapper"
+        );
+        let eps = n as f64 / secs;
+        let overhead = secs / bare_secs;
+        println!("serve/{label:<16} {eps:>9.0} events/s ({secs:.3}s, {overhead:.2}x bare)");
+        arms.push(Json::obj(vec![
+            ("arm", Json::Str(label.to_string())),
+            ("sync_every", Json::Num(sync_every as f64)),
+            ("snapshot_every", Json::Num(snapshot_every as f64)),
+            ("seconds", Json::Num(secs)),
+            ("events_per_sec", Json::Num(eps)),
+            ("overhead_vs_bare", Json::Num(overhead)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("minim-bench-serve/1".to_string())),
+        ("n", Json::Num(n as f64)),
+        ("bare_events_per_sec", Json::Num(bare_eps)),
+        ("arms", Json::Arr(arms)),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+}

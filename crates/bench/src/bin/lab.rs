@@ -11,6 +11,8 @@
 //!                                    [--batched P] [--resident P]
 //!                                    [--format table|json|csv|all]
 //!                                    [--out DIR] [--quiet]
+//! minim-lab serve-replay <dir> [--gen N] [--seed S] [--strategy NAME]
+//!                              [--snapshot-every K]
 //! ```
 //!
 //! * `list` — the preset catalog (name, sweep shape, summary).
@@ -27,6 +29,15 @@
 //!   fraction, events/sec) is printed with the summary; `--format`
 //!   picks the stdout rendering (default `table`); `--out DIR`
 //!   additionally writes `<name>.json` and `<name>.csv`.
+//! * `serve-replay` — opens (or creates) a durable engine directory:
+//!   recovery replays the journal, prints the [`RecoveryReport`], and
+//!   with `--gen N` feeds `N` fresh churn events through the
+//!   journaled engine before closing. Running it twice — once with
+//!   `--gen`, once without — is the crash-recovery smoke test CI
+//!   runs: the second invocation must replay to the exact state the
+//!   first one left (digests printed for comparison).
+//!
+//! [`RecoveryReport`]: minim_serve::RecoveryReport
 
 use minim_sim::scenario::{Scenario, ScenarioSpec, SweepProgress, SweepResult};
 use minim_sim::{ascii_plot, presets, Execution};
@@ -38,7 +49,8 @@ fn usage() -> ! {
         "minim-lab — declarative scenario lab\n\n\
          USAGE:\n  minim-lab list\n  minim-lab show <preset>\n  \
          minim-lab run <preset | spec.json> [--runs K] [--seed S] [--workers W]\n\
-         \u{20}                                  [--batched P] [--resident P] [--format table|json|csv|all] [--out DIR] [--quiet]\n\n\
+         \u{20}                                  [--batched P] [--resident P] [--format table|json|csv|all] [--out DIR] [--quiet]\n  \
+         minim-lab serve-replay <dir> [--gen N] [--seed S] [--strategy Minim|CP|BBB] [--snapshot-every K]\n\n\
          Presets: see `minim-lab list`. A spec file is the JSON printed by `show`."
     );
     std::process::exit(2);
@@ -298,6 +310,121 @@ fn emit(args: &RunArgs, result: &SweepResult) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct ServeReplayArgs {
+    dir: PathBuf,
+    gen: usize,
+    seed: u64,
+    strategy: minim_core::StrategyKind,
+    snapshot_every: u64,
+}
+
+fn parse_serve_replay_args(argv: &[String]) -> ServeReplayArgs {
+    use minim_core::StrategyKind;
+    let mut args = ServeReplayArgs {
+        dir: PathBuf::new(),
+        gen: 0,
+        seed: 42,
+        strategy: StrategyKind::Minim,
+        snapshot_every: 64,
+    };
+    let mut have_dir = false;
+    let mut i = 0;
+    while i < argv.len() {
+        let parse_next = |i: &mut usize, what: &str| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--gen" => {
+                args.gen = parse_next(&mut i, "--gen")
+                    .parse()
+                    .unwrap_or_else(|_| die("--gen needs a non-negative integer"))
+            }
+            "--seed" => {
+                args.seed = parse_next(&mut i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs a non-negative integer"))
+            }
+            "--strategy" => {
+                let name = parse_next(&mut i, "--strategy");
+                args.strategy = StrategyKind::ALL
+                    .into_iter()
+                    .find(|k| k.label().eq_ignore_ascii_case(&name))
+                    .unwrap_or_else(|| die("--strategy must be Minim, CP, or BBB"));
+            }
+            "--snapshot-every" => {
+                args.snapshot_every = parse_next(&mut i, "--snapshot-every")
+                    .parse()
+                    .unwrap_or_else(|_| die("--snapshot-every needs a non-negative integer"))
+            }
+            other if !have_dir && !other.starts_with('-') => {
+                args.dir = PathBuf::from(other);
+                have_dir = true;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    if !have_dir {
+        usage();
+    }
+    args
+}
+
+fn cmd_serve_replay(argv: &[String]) -> ExitCode {
+    use minim_net::workload::ChurnWorkload;
+    use minim_serve::{Engine, EngineOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let args = parse_serve_replay_args(argv);
+    let opts = EngineOptions {
+        strategy: args.strategy,
+        snapshot_every: args.snapshot_every,
+        ..EngineOptions::default()
+    };
+    let mut eng = Engine::open_dir(&args.dir, opts)
+        .unwrap_or_else(|e| die(&format!("{}: {e}", args.dir.display())));
+    let r = *eng.recovery_report();
+    println!(
+        "serve-replay: recovered {} events (snapshot {} + {} replayed, \
+         {} bytes truncated, {} corrupt frames, {} snapshots discarded)",
+        r.events_total,
+        r.snapshot_seq,
+        r.frames_replayed,
+        r.bytes_truncated,
+        r.corrupt_frames,
+        r.snapshots_discarded
+    );
+
+    if args.gen > 0 {
+        let workload = ChurnWorkload::paper(args.gen, 0.6);
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        for step in 0..args.gen {
+            let event = workload.next_event(eng.net(), &mut rng);
+            eng.apply(&event)
+                .unwrap_or_else(|e| die(&format!("apply failed at step {step}: {e}")));
+        }
+        println!("serve-replay: journaled {} fresh events", args.gen);
+    }
+
+    println!(
+        "serve-replay: state {} nodes, {} events total, strategy {}, digest {:#018x}",
+        eng.net().node_count(),
+        eng.events_applied(),
+        eng.strategy_kind().label(),
+        eng.net().state_digest()
+    );
+    if let Some(reason) = eng.quarantine_reason() {
+        die(&format!("engine quarantined: {reason}"));
+    }
+    eng.close()
+        .unwrap_or_else(|e| die(&format!("close failed: {e}")));
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -307,6 +434,7 @@ fn main() -> ExitCode {
             None => usage(),
         },
         Some("run") => cmd_run(&argv[1..]),
+        Some("serve-replay") => cmd_serve_replay(&argv[1..]),
         _ => usage(),
     }
 }

@@ -54,6 +54,27 @@ pub mod shardmap;
 pub use batch::{BatchPlan, BatchScratch};
 pub use shardmap::{Disposition, ShardMap, SliceRoute};
 
+/// Structural digest of a [`Network`]: node count, id watermark, edge
+/// count, max color index. Cheap (`O(1)`) to compute.
+///
+/// Two uses share this definition: the resident executor's reseed
+/// check (detecting that someone mutated the network outside the
+/// executor between runs) and `minim-serve`'s recovery verification
+/// (a restored snapshot must fingerprint-match what was persisted).
+/// It is deliberately *not* a full state hash — see
+/// [`Network::state_digest`] for the strong form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkFingerprint {
+    /// Present node count.
+    pub nodes: usize,
+    /// The id the next [`Network::next_id`] call would allocate.
+    pub next_id: u32,
+    /// Induced digraph edge count.
+    pub edges: usize,
+    /// Maximum color index currently assigned (0 when uncolored).
+    pub max_color: u32,
+}
+
 /// A node's radio configuration: where it is and how far it transmits.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeConfig {
@@ -688,6 +709,80 @@ impl Network {
             }
         }
         self.graph.check_invariants();
+    }
+
+    /// Whether this network runs on the flat (single-tier, monotone
+    /// watermark) spatial index rather than the range-stratified one.
+    /// Snapshot encoders persist this so a restored network keeps the
+    /// same index mode (the two are result-identical; only costs and
+    /// the [`Network::range_bound`] trajectory differ).
+    pub fn is_flat(&self) -> bool {
+        self.grid.is_flat()
+    }
+
+    /// Raises the id watermark so the next [`Network::next_id`] call
+    /// returns at least `next`. Never lowers it. Snapshot restore uses
+    /// this to reproduce an id allocator that had advanced past the
+    /// highest *surviving* node (departed nodes leave watermark gaps
+    /// that [`Network::insert_node`] alone cannot recreate).
+    pub fn restore_id_watermark(&mut self, next: u32) {
+        self.next_id = self.next_id.max(next);
+    }
+
+    /// The structural fingerprint: `O(1)`, shared by the resident
+    /// executor's reseed check and `minim-serve`'s recovery
+    /// verification.
+    pub fn fingerprint(&self) -> NetworkFingerprint {
+        NetworkFingerprint {
+            nodes: self.node_count(),
+            next_id: self.next_id,
+            edges: self.graph.edge_count(),
+            max_color: self.max_color_index(),
+        }
+    }
+
+    /// A strong `O(N + E + walls)` digest of the observable network
+    /// state: every node's id, position bits, range bits, and color,
+    /// every edge, every obstacle, and the id watermark, folded
+    /// through FNV-1a. Two networks with equal digests agree on
+    /// everything event application can observe — the recovery tests'
+    /// one-word "bit-identical" witness. (Hash equality is of course
+    /// probabilistic; the tests additionally compare
+    /// [`Network::describe`] outputs on mismatch-free paths.)
+    pub fn state_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut fold = |word: u64| {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        fold(self.next_id as u64);
+        for (i, cfg) in self.configs.iter().enumerate() {
+            if let Some(cfg) = cfg {
+                fold(i as u64);
+                fold(cfg.pos.x.to_bits());
+                fold(cfg.pos.y.to_bits());
+                fold(cfg.range.to_bits());
+                let id = NodeId(i as u32);
+                match self.assignment.get(id) {
+                    Some(c) => fold(1 + c.index() as u64),
+                    None => fold(0),
+                }
+                for &v in self.graph.out_neighbors(id) {
+                    fold(u64::from(v.0) | 1 << 40);
+                }
+            }
+        }
+        for wall in self.obstacles.walls() {
+            fold(wall.a.x.to_bits());
+            fold(wall.a.y.to_bits());
+            fold(wall.b.x.to_bits());
+            fold(wall.b.y.to_bits());
+        }
+        h
     }
 
     /// Snapshot of the current assignment (for before/after diffs).

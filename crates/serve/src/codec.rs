@@ -1,0 +1,445 @@
+//! JSON codecs for journal events and network snapshots.
+//!
+//! Events and snapshots travel through the dependency-free
+//! [`minim_sim::json`] module. Determinism matters more than beauty
+//! here: `f64`s render with Rust's shortest-roundtrip formatting, so a
+//! value survives encode → decode **bit-identically**, and object keys
+//! keep insertion order, so the same state always produces the same
+//! bytes — which is what lets recovery tests compare whole files.
+//!
+//! Wire schemas (compact, single-line):
+//!
+//! ```json
+//! {"t":"join","x":1.5,"y":2.0,"r":5.0}
+//! {"t":"leave","node":7}
+//! {"t":"move","node":7,"x":3.0,"y":4.0}
+//! {"t":"set_range","node":7,"range":6.5}
+//! ```
+//!
+//! Snapshots carry everything [`Network`] needs to reconstruct itself
+//! plus the strategy name and applied-event count, and embed the
+//! source network's fingerprint so a restore can self-verify.
+
+use minim_core::StrategyKind;
+use minim_geom::{Point, Segment};
+use minim_graph::{Color, NodeId};
+use minim_net::event::Event;
+use minim_net::{Network, NetworkFingerprint, NodeConfig};
+use minim_sim::json::{self, Json};
+
+/// Snapshot schema version; bumped on incompatible layout changes.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// A decoding failure: malformed JSON or a well-formed document that
+/// doesn't match the expected schema.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The text was not valid JSON.
+    Parse(json::ParseError),
+    /// The JSON didn't have the expected shape; the message names the
+    /// missing/mistyped field.
+    Schema(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Parse(e) => write!(f, "json parse error: {e}"),
+            CodecError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<json::ParseError> for CodecError {
+    fn from(e: json::ParseError) -> Self {
+        CodecError::Parse(e)
+    }
+}
+
+fn schema(msg: impl Into<String>) -> CodecError {
+    CodecError::Schema(msg.into())
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, CodecError> {
+    doc.get(key)
+        .ok_or_else(|| schema(format!("missing `{key}`")))
+}
+
+fn f64_field(doc: &Json, key: &str) -> Result<f64, CodecError> {
+    field(doc, key)?
+        .as_f64()
+        .ok_or_else(|| schema(format!("`{key}` must be a number")))
+}
+
+fn u64_field(doc: &Json, key: &str) -> Result<u64, CodecError> {
+    field(doc, key)?
+        .as_u64()
+        .ok_or_else(|| schema(format!("`{key}` must be a non-negative integer")))
+}
+
+// -------------------------------------------------------------- events
+
+/// Encodes an event as a compact single-line JSON document.
+pub fn encode_event(event: &Event) -> String {
+    let doc = match event {
+        Event::Join { cfg } => Json::obj(vec![
+            ("t", Json::Str("join".into())),
+            ("x", Json::Num(cfg.pos.x)),
+            ("y", Json::Num(cfg.pos.y)),
+            ("r", Json::Num(cfg.range)),
+        ]),
+        Event::Leave { node } => Json::obj(vec![
+            ("t", Json::Str("leave".into())),
+            ("node", Json::Num(f64::from(node.0))),
+        ]),
+        Event::Move { node, to } => Json::obj(vec![
+            ("t", Json::Str("move".into())),
+            ("node", Json::Num(f64::from(node.0))),
+            ("x", Json::Num(to.x)),
+            ("y", Json::Num(to.y)),
+        ]),
+        Event::SetRange { node, range } => Json::obj(vec![
+            ("t", Json::Str("set_range".into())),
+            ("node", Json::Num(f64::from(node.0))),
+            ("range", Json::Num(*range)),
+        ]),
+    };
+    doc.to_string_compact()
+}
+
+/// Decodes an event from its JSON text.
+pub fn decode_event(text: &str) -> Result<Event, CodecError> {
+    let doc = json::parse(text)?;
+    let tag = field(&doc, "t")?
+        .as_str()
+        .ok_or_else(|| schema("`t` must be a string"))?;
+    let node_of = |doc: &Json| -> Result<NodeId, CodecError> {
+        let raw = u64_field(doc, "node")?;
+        u32::try_from(raw)
+            .map(NodeId)
+            .map_err(|_| schema("`node` out of u32 range"))
+    };
+    match tag {
+        "join" => {
+            let pos = Point::new(f64_field(&doc, "x")?, f64_field(&doc, "y")?);
+            let range = f64_field(&doc, "r")?;
+            if !(range.is_finite() && range >= 0.0) {
+                return Err(schema("`r` must be finite and non-negative"));
+            }
+            Ok(Event::Join {
+                cfg: NodeConfig::new(pos, range),
+            })
+        }
+        "leave" => Ok(Event::Leave {
+            node: node_of(&doc)?,
+        }),
+        "move" => Ok(Event::Move {
+            node: node_of(&doc)?,
+            to: Point::new(f64_field(&doc, "x")?, f64_field(&doc, "y")?),
+        }),
+        "set_range" => {
+            let range = f64_field(&doc, "range")?;
+            if !(range.is_finite() && range >= 0.0) {
+                return Err(schema("`range` must be finite and non-negative"));
+            }
+            Ok(Event::SetRange {
+                node: node_of(&doc)?,
+                range,
+            })
+        }
+        other => Err(schema(format!("unknown event tag `{other}`"))),
+    }
+}
+
+// ----------------------------------------------------------- snapshots
+
+/// A decoded snapshot: the reconstructed network plus the engine
+/// metadata stored alongside it.
+pub struct SnapshotDoc {
+    /// The restored network state.
+    pub net: Network,
+    /// The strategy that produced (and must continue) this state.
+    pub strategy: StrategyKind,
+    /// Events applied to reach this state since genesis.
+    pub events_applied: u64,
+}
+
+fn strategy_by_name(name: &str) -> Option<StrategyKind> {
+    StrategyKind::ALL.into_iter().find(|k| k.label() == name)
+}
+
+/// Encodes the full network state as a pretty-printed JSON document.
+pub fn encode_snapshot(net: &Network, strategy: StrategyKind, events_applied: u64) -> String {
+    let fp = net.fingerprint();
+    let nodes: Vec<Json> = net
+        .describe()
+        .into_iter()
+        .map(|(id, pos, range, color)| {
+            Json::Arr(vec![
+                Json::Num(f64::from(id.0)),
+                Json::Num(pos.x),
+                Json::Num(pos.y),
+                Json::Num(range),
+                color.map_or(Json::Null, |c| Json::Num(f64::from(c.index()))),
+            ])
+        })
+        .collect();
+    let obstacles: Vec<Json> = net
+        .obstacles()
+        .iter()
+        .map(|s| {
+            Json::Arr(vec![
+                Json::Num(s.a.x),
+                Json::Num(s.a.y),
+                Json::Num(s.b.x),
+                Json::Num(s.b.y),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("v", Json::Num(SNAPSHOT_VERSION as f64)),
+        ("strategy", Json::Str(strategy.label().into())),
+        ("events_applied", Json::Num(events_applied as f64)),
+        ("cell_hint", Json::Num(net.cell_size_hint())),
+        ("flat", Json::Bool(net.is_flat())),
+        ("next_id", Json::Num(f64::from(net.peek_next_id().0))),
+        ("fp_nodes", Json::Num(fp.nodes as f64)),
+        ("fp_edges", Json::Num(fp.edges as f64)),
+        ("fp_max_color", Json::Num(f64::from(fp.max_color))),
+        ("obstacles", Json::Arr(obstacles)),
+        ("nodes", Json::Arr(nodes)),
+    ])
+    .to_string_pretty()
+}
+
+/// Decodes and **verifies** a snapshot: the network is rebuilt
+/// (obstacles first, then nodes in id order, then colors), and its
+/// fingerprint must match the one stored at encode time — a mismatch
+/// means the document was damaged in a CRC-preserving way or the
+/// rebuild logic has drifted, and the snapshot is rejected.
+pub fn decode_snapshot(text: &str) -> Result<SnapshotDoc, CodecError> {
+    let doc = json::parse(text)?;
+    let version = u64_field(&doc, "v")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(schema(format!("unsupported snapshot version {version}")));
+    }
+    let strategy_name = field(&doc, "strategy")?
+        .as_str()
+        .ok_or_else(|| schema("`strategy` must be a string"))?;
+    let strategy = strategy_by_name(strategy_name)
+        .ok_or_else(|| schema(format!("unknown strategy `{strategy_name}`")))?;
+    let events_applied = u64_field(&doc, "events_applied")?;
+    let cell_hint = f64_field(&doc, "cell_hint")?;
+    let flat = field(&doc, "flat")?
+        .as_bool()
+        .ok_or_else(|| schema("`flat` must be a boolean"))?;
+    let next_id = u32::try_from(u64_field(&doc, "next_id")?)
+        .map_err(|_| schema("`next_id` out of u32 range"))?;
+
+    let mut net = if flat {
+        Network::new_flat(cell_hint)
+    } else {
+        Network::new(cell_hint)
+    };
+
+    // Obstacles go in while the network is empty: `add_obstacle` rewires
+    // affected links, and with zero nodes that's free.
+    for wall in field(&doc, "obstacles")?
+        .as_arr()
+        .ok_or_else(|| schema("`obstacles` must be an array"))?
+    {
+        let quad = wall
+            .as_arr()
+            .filter(|q| q.len() == 4)
+            .ok_or_else(|| schema("each obstacle must be [x1,y1,x2,y2]"))?;
+        let coord = |i: usize| -> Result<f64, CodecError> {
+            quad[i]
+                .as_f64()
+                .ok_or_else(|| schema("obstacle coordinates must be numbers"))
+        };
+        net.add_obstacle(Segment::new(
+            Point::new(coord(0)?, coord(1)?),
+            Point::new(coord(2)?, coord(3)?),
+        ));
+    }
+
+    // Nodes are emitted by `describe` in ascending id order; insert in
+    // that order, then lay colors on top.
+    let mut colors: Vec<(NodeId, Color)> = Vec::new();
+    for row in field(&doc, "nodes")?
+        .as_arr()
+        .ok_or_else(|| schema("`nodes` must be an array"))?
+    {
+        let cells = row
+            .as_arr()
+            .filter(|r| r.len() == 5)
+            .ok_or_else(|| schema("each node must be [id,x,y,range,color]"))?;
+        let id = cells[0]
+            .as_u64()
+            .and_then(|v| u32::try_from(v).ok())
+            .map(NodeId)
+            .ok_or_else(|| schema("node id must be a u32"))?;
+        let x = cells[1]
+            .as_f64()
+            .ok_or_else(|| schema("node x must be a number"))?;
+        let y = cells[2]
+            .as_f64()
+            .ok_or_else(|| schema("node y must be a number"))?;
+        let range = cells[3]
+            .as_f64()
+            .filter(|r| r.is_finite() && *r >= 0.0)
+            .ok_or_else(|| schema("node range must be finite and non-negative"))?;
+        net.insert_node(id, NodeConfig::new(Point::new(x, y), range));
+        match &cells[4] {
+            Json::Null => {}
+            c => {
+                let idx = c
+                    .as_u64()
+                    .and_then(|v| u32::try_from(v).ok())
+                    .filter(|v| *v >= 1)
+                    .ok_or_else(|| schema("node color must be a positive integer"))?;
+                colors.push((id, Color::new(idx)));
+            }
+        }
+    }
+    for (id, c) in colors {
+        net.set_color(id, c);
+    }
+    net.restore_id_watermark(next_id);
+
+    let stored = NetworkFingerprint {
+        nodes: field(&doc, "fp_nodes")?
+            .as_usize()
+            .ok_or_else(|| schema("`fp_nodes` must be an integer"))?,
+        next_id,
+        edges: field(&doc, "fp_edges")?
+            .as_usize()
+            .ok_or_else(|| schema("`fp_edges` must be an integer"))?,
+        max_color: u32::try_from(u64_field(&doc, "fp_max_color")?)
+            .map_err(|_| schema("`fp_max_color` out of u32 range"))?,
+    };
+    let rebuilt = net.fingerprint();
+    if rebuilt != stored {
+        return Err(schema(format!(
+            "snapshot fingerprint mismatch: stored {stored:?}, rebuilt {rebuilt:?}"
+        )));
+    }
+
+    Ok(SnapshotDoc {
+        net,
+        strategy,
+        events_applied,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Join {
+                cfg: NodeConfig::new(Point::new(0.125, -3.75), 5.5),
+            },
+            Event::Leave { node: NodeId(3) },
+            Event::Move {
+                node: NodeId(1),
+                to: Point::new(0.1 + 0.2, 9.0), // deliberately non-representable sum
+            },
+            Event::SetRange {
+                node: NodeId(2),
+                range: 7.25,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_roundtrip_bit_identically() {
+        for e in sample_events() {
+            let text = encode_event(&e);
+            let back = decode_event(&text).unwrap();
+            assert_eq!(back, e, "through {text}");
+            // Second generation must be byte-identical (stable output).
+            assert_eq!(encode_event(&back), text);
+        }
+    }
+
+    #[test]
+    fn event_decode_rejects_malformed_documents() {
+        assert!(matches!(
+            decode_event("{\"t\":\"join\",\"x\":1.0}"),
+            Err(CodecError::Schema(_))
+        ));
+        assert!(matches!(
+            decode_event("{\"t\":\"warp\",\"node\":1}"),
+            Err(CodecError::Schema(_))
+        ));
+        assert!(matches!(
+            decode_event("{\"t\":\"leave\",\"node\":-1}"),
+            Err(CodecError::Schema(_))
+        ));
+        assert!(matches!(
+            decode_event("not json"),
+            Err(CodecError::Parse(_))
+        ));
+        // Trailing garbage is a parse error (hardened json module).
+        assert!(matches!(
+            decode_event("{\"t\":\"leave\",\"node\":1} extra"),
+            Err(CodecError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_a_colored_network() {
+        let mut strategy = StrategyKind::Minim.build();
+        let mut net = Network::new(6.0);
+        net.add_obstacle(Segment::new(Point::new(3.0, -10.0), Point::new(3.0, 10.0)));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use rand::{Rng, SeedableRng};
+        for _ in 0..40 {
+            let cfg = NodeConfig::new(
+                Point::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0)),
+                rng.gen_range(3.0..8.0),
+            );
+            strategy.apply(&mut net, &Event::Join { cfg });
+        }
+        strategy.apply(&mut net, &Event::Leave { node: NodeId(5) });
+
+        let text = encode_snapshot(&net, StrategyKind::Minim, 41);
+        let doc = decode_snapshot(&text).unwrap();
+        assert_eq!(doc.strategy, StrategyKind::Minim);
+        assert_eq!(doc.events_applied, 41);
+        assert_eq!(doc.net.state_digest(), net.state_digest());
+        assert_eq!(doc.net.describe(), net.describe());
+        assert_eq!(doc.net.obstacles(), net.obstacles());
+        // Re-encoding the restored network reproduces the exact bytes.
+        assert_eq!(encode_snapshot(&doc.net, doc.strategy, 41), text);
+    }
+
+    #[test]
+    fn snapshot_rejects_fingerprint_mismatch() {
+        let mut net = Network::new(5.0);
+        net.insert_node(NodeId(0), NodeConfig::new(Point::new(0.0, 0.0), 4.0));
+        let text = encode_snapshot(&net, StrategyKind::Cp, 1);
+        let tampered = text.replace("\"fp_nodes\": 1", "\"fp_nodes\": 2");
+        assert_ne!(tampered, text, "replacement must hit");
+        assert!(matches!(
+            decode_snapshot(&tampered),
+            Err(CodecError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_rejects_bad_version() {
+        let mut net = Network::new(5.0);
+        net.insert_node(NodeId(0), NodeConfig::new(Point::new(0.0, 0.0), 4.0));
+        let text = encode_snapshot(&net, StrategyKind::Bbb, 1);
+        let bumped = text.replace("\"v\": 1", "\"v\": 99");
+        assert!(matches!(
+            decode_snapshot(&bumped),
+            Err(CodecError::Schema(_))
+        ));
+    }
+}

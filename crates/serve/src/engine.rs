@@ -1,0 +1,711 @@
+//! The crash-safe engine facade.
+//!
+//! [`Engine`] wraps a [`Network`] + [`RecodingStrategy`] pair with
+//! durability: every event is **journaled before it is applied**
+//! (write-ahead logging), the journal is fsynced in configurable
+//! batches, and the full state is periodically checkpointed into a
+//! checksummed snapshot, at which point the journal rotates to a fresh
+//! segment and the superseded files are deleted.
+//!
+//! ## On-disk layout
+//!
+//! The engine owns a flat directory:
+//!
+//! * `snap-<seq>` — one checksummed frame holding the snapshot JSON;
+//!   snapshot `seq` is the state at the *start* of segment `seq`.
+//! * `wal-<seq>`  — the live journal segment: one frame per event
+//!   applied since snapshot `seq`.
+//!
+//! Opening an empty directory writes a genesis `snap-0` (the empty
+//! network), so recovery always has a base to build on. Rotation
+//! writes `snap-(S+1)` atomically (temp + fsync + rename), then starts
+//! `wal-(S+1)` and deletes the older generation — a crash at any
+//! point leaves either the old generation intact or the new one
+//! durable, never neither.
+//!
+//! ## Recovery
+//!
+//! [`Engine::open`] loads the newest decodable snapshot (each is
+//! CRC-framed *and* self-verifies its fingerprint on rebuild), then
+//! replays the journal suffix through the strategy. The first bad
+//! frame — torn tail or bit rot — truncates the segment at the last
+//! valid boundary; the [`RecoveryReport`] says exactly how many events
+//! were replayed and how many bytes were cut. Because PRs 1–8 proved
+//! the strategies bit-deterministic, replaying the same prefix
+//! reproduces the pre-crash state *exactly* — recovery is not
+//! approximate, and the tests assert it with whole-state digests.
+//!
+//! ## Quarantine
+//!
+//! After any write-path failure (failed append, fsync, rotation) the
+//! engine degrades to **read-only quarantine**: state accessors keep
+//! working, every mutation returns [`EngineError::Quarantined`], and
+//! the reason is preserved. This is the post-`fsync`-failure posture:
+//! once the kernel has failed a flush, the only honest options are
+//! stop-and-reopen or silent risk, and the engine picks the former.
+
+use std::io;
+
+use minim_core::{RecodingStrategy, StrategyKind};
+use minim_net::event::{AppliedEvent, Event};
+use minim_net::Network;
+
+use crate::codec;
+use crate::fs::{DiskFs, FaultFs};
+use crate::journal::{self, ScanEnd, FRAME_HEADER};
+
+/// Tuning knobs for [`Engine::open_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Recoding strategy for genesis. On reopen the strategy stored in
+    /// the snapshot wins (state is only replayable under the strategy
+    /// that produced it).
+    pub strategy: StrategyKind,
+    /// Auto-snapshot (and rotate the journal) every this many events.
+    /// `0` disables auto-snapshotting; [`Engine::snapshot`] still
+    /// works on demand.
+    pub snapshot_every: u64,
+    /// Fsync the journal every this many appends. `1` (the default)
+    /// acknowledges every event before applying it; larger values
+    /// trade a bounded unacknowledged window for throughput. `0`
+    /// never auto-syncs (only [`Engine::sync`] / [`Engine::close`]).
+    pub sync_every: u64,
+    /// Spatial-grid cell hint for the genesis network.
+    pub cell_hint: f64,
+    /// Whether the genesis network uses the flat (non-stratified)
+    /// spatial index.
+    pub flat: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            strategy: StrategyKind::Minim,
+            snapshot_every: 1024,
+            sync_every: 1,
+            cell_hint: 25.0,
+            flat: false,
+        }
+    }
+}
+
+/// A typed engine failure.
+#[derive(Debug)]
+pub enum EngineError {
+    /// An I/O operation failed; `op` names the journal/snapshot step.
+    Io {
+        /// Which operation failed (`"append"`, `"sync"`, …).
+        op: &'static str,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The engine is in read-only quarantine after an earlier failure.
+    Quarantined {
+        /// The original failure, preserved verbatim.
+        reason: String,
+    },
+    /// Stored state could not be decoded at all (no usable snapshot).
+    Corrupt {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The event references state that doesn't exist (e.g. a leave for
+    /// an absent node). Rejected *before* journaling, so bad input
+    /// never poisons the log.
+    InvalidEvent {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Io { op, source } => write!(f, "{op} failed: {source}"),
+            EngineError::Quarantined { reason } => {
+                write!(f, "engine quarantined (read-only): {reason}")
+            }
+            EngineError::Corrupt { detail } => write!(f, "stored state corrupt: {detail}"),
+            EngineError::InvalidEvent { detail } => write!(f, "invalid event: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// What recovery found and did while opening the directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the snapshot recovery built on.
+    pub snapshot_seq: u64,
+    /// Newer snapshots that failed their checksum / fingerprint and
+    /// were skipped in favor of an older one.
+    pub snapshots_discarded: u64,
+    /// Journal frames replayed on top of the snapshot.
+    pub frames_replayed: u64,
+    /// Journal bytes discarded past the last valid frame boundary.
+    pub bytes_truncated: u64,
+    /// Structurally complete frames dropped for failing their CRC or
+    /// payload decode (torn tails count only toward `bytes_truncated`).
+    pub corrupt_frames: u64,
+    /// Total events reflected in the recovered state (snapshot base +
+    /// replayed suffix). Recovered state ≡ a fresh engine fed exactly
+    /// this prefix of the original event stream.
+    pub events_total: u64,
+}
+
+fn wal_name(seq: u64) -> String {
+    format!("wal-{seq:010}")
+}
+
+fn snap_name(seq: u64) -> String {
+    format!("snap-{seq:010}")
+}
+
+/// Parses `prefix-<digits>`, returning the sequence number.
+fn parse_seq(name: &str, prefix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?.strip_prefix('-')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The crash-safe facade over a network + strategy pair. See the
+/// module docs for the full durability contract.
+pub struct Engine {
+    fs: Box<dyn FaultFs>,
+    net: Network,
+    strategy: Box<dyn RecodingStrategy + Send + Sync>,
+    strategy_kind: StrategyKind,
+    opts: EngineOptions,
+    /// Live segment number; appends go to `wal-<seq>`.
+    seq: u64,
+    events_applied: u64,
+    events_since_snapshot: u64,
+    appends_since_sync: u64,
+    quarantine: Option<String>,
+    report: RecoveryReport,
+}
+
+impl Engine {
+    /// Opens (or creates) an engine over the real filesystem at `dir`
+    /// with default options.
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> Result<Engine, EngineError> {
+        Engine::open_dir(dir, EngineOptions::default())
+    }
+
+    /// [`Engine::open`] with explicit options.
+    pub fn open_dir(
+        dir: impl Into<std::path::PathBuf>,
+        opts: EngineOptions,
+    ) -> Result<Engine, EngineError> {
+        let fs = DiskFs::open(dir).map_err(|source| EngineError::Io { op: "open", source })?;
+        Engine::open_with(Box::new(fs), opts)
+    }
+
+    /// Opens an engine over any [`FaultFs`] — the entry point the
+    /// fault-injection tests use with a scripted [`crate::MemFs`].
+    pub fn open_with(mut fs: Box<dyn FaultFs>, opts: EngineOptions) -> Result<Engine, EngineError> {
+        let names = fs
+            .list()
+            .map_err(|source| EngineError::Io { op: "list", source })?;
+        let mut snaps: Vec<u64> = names.iter().filter_map(|n| parse_seq(n, "snap")).collect();
+        snaps.sort_unstable();
+        let mut wals: Vec<u64> = names.iter().filter_map(|n| parse_seq(n, "wal")).collect();
+        wals.sort_unstable();
+
+        if snaps.is_empty() {
+            return Engine::genesis(fs, opts, &wals);
+        }
+
+        let mut report = RecoveryReport::default();
+
+        // Newest decodable snapshot wins. Each candidate must pass its
+        // frame CRC, parse, and rebuild to its stored fingerprint.
+        let mut base: Option<(u64, codec::SnapshotDoc)> = None;
+        for &s in snaps.iter().rev() {
+            match Engine::load_snapshot(fs.as_mut(), s) {
+                Ok(doc) => {
+                    base = Some((s, doc));
+                    break;
+                }
+                Err(_) => report.snapshots_discarded += 1,
+            }
+        }
+        let (base_seq, snap) = base.ok_or_else(|| EngineError::Corrupt {
+            detail: format!("no decodable snapshot among {} candidates", snaps.len()),
+        })?;
+        report.snapshot_seq = base_seq;
+
+        let mut net = snap.net;
+        let strategy_kind = snap.strategy;
+        let mut strategy = strategy_kind.build();
+        let mut events_applied = snap.events_applied;
+        let mut quarantine = None;
+
+        // Replay journal segments from the base forward. In steady
+        // state there is exactly one (`wal-<base>`); an interrupted
+        // rotation or a discarded newer snapshot can leave others, and
+        // the loop handles them in order.
+        let mut seq = base_seq;
+        let mut halted = false;
+        for &w in wals.iter().filter(|&&w| w >= base_seq) {
+            if halted {
+                // Unreachable continuation past a damaged segment: the
+                // events in it depend on state we truncated away.
+                let _ = fs.remove(&wal_name(w));
+                continue;
+            }
+            seq = w;
+            let name = wal_name(w);
+            let bytes = fs
+                .read(&name)
+                .map_err(|source| EngineError::Io { op: "read", source })?;
+            let scanned = journal::scan(&bytes);
+
+            // Replay the valid prefix, watching for frames whose CRC
+            // holds but whose payload doesn't decode (writer bug or
+            // CRC-colliding rot): those truncate too.
+            let mut offset = 0usize;
+            let mut bad_payload = false;
+            for payload in &scanned.frames {
+                match codec::decode_event(&String::from_utf8_lossy(payload)) {
+                    Ok(event) => {
+                        strategy.apply(&mut net, &event);
+                        events_applied += 1;
+                        report.frames_replayed += 1;
+                        offset += FRAME_HEADER + payload.len();
+                    }
+                    Err(_) => {
+                        bad_payload = true;
+                        break;
+                    }
+                }
+            }
+
+            let cut_at = if bad_payload {
+                offset
+            } else {
+                scanned.valid_len
+            };
+            if bad_payload || scanned.is_damaged() {
+                report.bytes_truncated += (bytes.len() - cut_at) as u64;
+                if bad_payload || scanned.end == ScanEnd::CorruptFrame {
+                    report.corrupt_frames += 1;
+                }
+                if let Err(source) = fs.truncate(&name, cut_at as u64) {
+                    quarantine = Some(format!("recovery truncate failed: {source}"));
+                }
+                halted = true;
+            }
+        }
+        report.events_total = events_applied;
+
+        // Stale generations below the base are leftovers of an
+        // interrupted rotation; clear them (best-effort — recovery
+        // tolerates them either way).
+        for &w in wals.iter().filter(|&&w| w < base_seq) {
+            let _ = fs.remove(&wal_name(w));
+        }
+        for &s in snaps.iter().filter(|&&s| s != base_seq) {
+            let _ = fs.remove(&snap_name(s));
+        }
+
+        Ok(Engine {
+            fs,
+            net,
+            strategy,
+            strategy_kind,
+            opts,
+            seq,
+            events_applied,
+            events_since_snapshot: report.frames_replayed,
+            appends_since_sync: 0,
+            quarantine,
+            report,
+        })
+    }
+
+    fn genesis(
+        mut fs: Box<dyn FaultFs>,
+        opts: EngineOptions,
+        stale_wals: &[u64],
+    ) -> Result<Engine, EngineError> {
+        // Journal segments without any snapshot have no base state to
+        // replay onto; they can only be debris from a crash before the
+        // genesis snapshot became durable.
+        for &w in stale_wals {
+            let _ = fs.remove(&wal_name(w));
+        }
+        let net = if opts.flat {
+            Network::new_flat(opts.cell_hint)
+        } else {
+            Network::new(opts.cell_hint)
+        };
+        let doc = codec::encode_snapshot(&net, opts.strategy, 0);
+        let frame = journal::encode_frame(doc.as_bytes());
+        fs.replace(&snap_name(0), &frame)
+            .map_err(|source| EngineError::Io {
+                op: "genesis snapshot",
+                source,
+            })?;
+        Ok(Engine {
+            fs,
+            net,
+            strategy: opts.strategy.build(),
+            strategy_kind: opts.strategy,
+            opts,
+            seq: 0,
+            events_applied: 0,
+            events_since_snapshot: 0,
+            appends_since_sync: 0,
+            quarantine: None,
+            report: RecoveryReport::default(),
+        })
+    }
+
+    fn load_snapshot(fs: &mut dyn FaultFs, seq: u64) -> Result<codec::SnapshotDoc, EngineError> {
+        let bytes = fs
+            .read(&snap_name(seq))
+            .map_err(|source| EngineError::Io { op: "read", source })?;
+        let scanned = journal::scan(&bytes);
+        if scanned.is_damaged() || scanned.frames.len() != 1 {
+            return Err(EngineError::Corrupt {
+                detail: format!(
+                    "snapshot {seq}: expected one clean frame, got {} ({:?})",
+                    scanned.frames.len(),
+                    scanned.end
+                ),
+            });
+        }
+        let text = String::from_utf8_lossy(&scanned.frames[0]);
+        codec::decode_snapshot(&text).map_err(|e| EngineError::Corrupt {
+            detail: format!("snapshot {seq}: {e}"),
+        })
+    }
+
+    fn guard(&self) -> Result<(), EngineError> {
+        match &self.quarantine {
+            Some(reason) => Err(EngineError::Quarantined {
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    fn quarantine_now(&mut self, reason: String) {
+        if self.quarantine.is_none() {
+            self.quarantine = Some(reason);
+        }
+    }
+
+    /// Rejects events that reference absent nodes *before* they reach
+    /// the journal, so a buggy caller can't poison the log with frames
+    /// that will panic on replay.
+    fn check_event(&self, event: &Event) -> Result<(), EngineError> {
+        let node = match event {
+            Event::Join { .. } => return Ok(()),
+            Event::Leave { node } | Event::Move { node, .. } | Event::SetRange { node, .. } => {
+                *node
+            }
+        };
+        if self.net.config(node).is_none() {
+            return Err(EngineError::InvalidEvent {
+                detail: format!("{event:?} targets absent node {node:?}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Journals `event`, fsyncs per policy, applies it through the
+    /// strategy, and auto-snapshots if the interval elapsed. On any
+    /// write failure the engine quarantines; see the module docs for
+    /// which failures still apply the event in memory.
+    pub fn apply(&mut self, event: &Event) -> Result<AppliedEvent, EngineError> {
+        self.guard()?;
+        self.check_event(event)?;
+
+        let payload = codec::encode_event(event);
+        let frame = journal::encode_frame(payload.as_bytes());
+        if let Err(source) = self.fs.append(&wal_name(self.seq), &frame) {
+            // Not applied: the frame may be torn on disk, and recovery
+            // will truncate it — memory and disk agree the event never
+            // happened.
+            self.quarantine_now(format!("journal append failed: {source}"));
+            return Err(EngineError::Io {
+                op: "append",
+                source,
+            });
+        }
+        self.appends_since_sync += 1;
+
+        let mut sync_failure = None;
+        if self.opts.sync_every > 0 && self.appends_since_sync >= self.opts.sync_every {
+            match self.fs.sync(&wal_name(self.seq)) {
+                Ok(()) => self.appends_since_sync = 0,
+                Err(source) => sync_failure = Some(source),
+            }
+        }
+
+        // The append succeeded, so the in-memory state advances even if
+        // the fsync just failed: the event is journaled-but-
+        // unacknowledged, exactly as durable as any unsynced write.
+        let (applied, _outcome) = self.strategy.apply(&mut self.net, event);
+        self.events_applied += 1;
+        self.events_since_snapshot += 1;
+
+        if let Some(source) = sync_failure {
+            // Post-fsync-failure the page cache can no longer be
+            // trusted; stop accepting writes.
+            self.quarantine_now(format!("journal fsync failed: {source}"));
+            return Ok(applied);
+        }
+
+        if self.opts.snapshot_every > 0 && self.events_since_snapshot >= self.opts.snapshot_every {
+            // A failed rotation quarantines but the event stands: it is
+            // journaled in the still-live segment.
+            let _ = self.snapshot();
+        }
+        Ok(applied)
+    }
+
+    /// Checkpoints the full state into `snap-(seq+1)` and rotates the
+    /// journal. On success the previous generation is deleted; on
+    /// failure the engine quarantines and the old generation remains
+    /// authoritative.
+    pub fn snapshot(&mut self) -> Result<(), EngineError> {
+        self.guard()?;
+        let next = self.seq + 1;
+        let doc = codec::encode_snapshot(&self.net, self.strategy_kind, self.events_applied);
+        let frame = journal::encode_frame(doc.as_bytes());
+        if let Err(source) = self.fs.replace(&snap_name(next), &frame) {
+            self.quarantine_now(format!("snapshot write failed: {source}"));
+            return Err(EngineError::Io {
+                op: "snapshot",
+                source,
+            });
+        }
+        // The new snapshot is durable; the old generation is now
+        // redundant. Removal is best-effort — recovery skips stale
+        // files if a crash lands here.
+        let old_wal = wal_name(self.seq);
+        let old_snap = snap_name(self.seq);
+        if self.fs.exists(&old_wal) {
+            let _ = self.fs.remove(&old_wal);
+        }
+        let _ = self.fs.remove(&old_snap);
+        self.seq = next;
+        self.events_since_snapshot = 0;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Forces an fsync of the live journal segment.
+    pub fn sync(&mut self) -> Result<(), EngineError> {
+        self.guard()?;
+        if self.appends_since_sync == 0 {
+            return Ok(());
+        }
+        match self.fs.sync(&wal_name(self.seq)) {
+            Ok(()) => {
+                self.appends_since_sync = 0;
+                Ok(())
+            }
+            Err(source) => {
+                self.quarantine_now(format!("journal fsync failed: {source}"));
+                Err(EngineError::Io { op: "sync", source })
+            }
+        }
+    }
+
+    /// Flushes outstanding appends and consumes the engine. Returns
+    /// the final applied-event count.
+    pub fn close(mut self) -> Result<u64, EngineError> {
+        if self.quarantine.is_none() {
+            self.sync()?;
+        }
+        Ok(self.events_applied)
+    }
+
+    /// The live network state.
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// The strategy continuing this state.
+    pub fn strategy_kind(&self) -> StrategyKind {
+        self.strategy_kind
+    }
+
+    /// Total events applied since genesis (snapshot base + live).
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Current journal segment number.
+    pub fn segment_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// What recovery found when this engine was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Whether the engine has degraded to read-only quarantine.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantine.is_some()
+    }
+
+    /// The failure that triggered quarantine, if any.
+    pub fn quarantine_reason(&self) -> Option<&str> {
+        self.quarantine.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::{Fault, MemFs};
+    use minim_geom::Point;
+    use minim_net::NodeConfig;
+
+    fn opts() -> EngineOptions {
+        EngineOptions {
+            snapshot_every: 0,
+            ..EngineOptions::default()
+        }
+    }
+
+    fn join(x: f64, y: f64, r: f64) -> Event {
+        Event::Join {
+            cfg: NodeConfig::new(Point::new(x, y), r),
+        }
+    }
+
+    #[test]
+    fn genesis_then_reopen_replays_events() {
+        let fs = MemFs::new();
+        let mut eng = Engine::open_with(Box::new(fs.clone()), opts()).unwrap();
+        for i in 0..10 {
+            eng.apply(&join(f64::from(i) * 3.0, 0.0, 5.0)).unwrap();
+        }
+        let digest = eng.net().state_digest();
+        assert_eq!(eng.close().unwrap(), 10);
+
+        let eng2 = Engine::open_with(Box::new(fs), opts()).unwrap();
+        assert_eq!(eng2.recovery_report().frames_replayed, 10);
+        assert_eq!(eng2.recovery_report().events_total, 10);
+        assert_eq!(eng2.recovery_report().bytes_truncated, 0);
+        assert_eq!(eng2.net().state_digest(), digest);
+    }
+
+    #[test]
+    fn snapshot_rotates_and_reopen_uses_it() {
+        let fs = MemFs::new();
+        let mut eng = Engine::open_with(Box::new(fs.clone()), opts()).unwrap();
+        for i in 0..6 {
+            eng.apply(&join(f64::from(i) * 4.0, 1.0, 6.0)).unwrap();
+        }
+        eng.snapshot().unwrap();
+        assert_eq!(eng.segment_seq(), 1);
+        eng.apply(&join(50.0, 1.0, 6.0)).unwrap();
+        let digest = eng.net().state_digest();
+        drop(eng);
+
+        let eng2 = Engine::open_with(Box::new(fs.clone()), opts()).unwrap();
+        let r = eng2.recovery_report();
+        assert_eq!(r.snapshot_seq, 1);
+        assert_eq!(r.frames_replayed, 1);
+        assert_eq!(r.events_total, 7);
+        assert_eq!(eng2.net().state_digest(), digest);
+        // Old generation was cleaned up.
+        let mut probe = fs.clone();
+        let names = probe.list().unwrap();
+        assert!(!names.contains(&wal_name(0)), "{names:?}");
+        assert!(!names.contains(&snap_name(0)), "{names:?}");
+    }
+
+    #[test]
+    fn invalid_event_is_rejected_before_journaling() {
+        let fs = MemFs::new();
+        let mut eng = Engine::open_with(Box::new(fs.clone()), opts()).unwrap();
+        let err = eng
+            .apply(&Event::Leave {
+                node: minim_graph::NodeId(99),
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidEvent { .. }));
+        assert!(!eng.is_quarantined());
+        // Nothing reached the journal.
+        let mut probe = fs.clone();
+        assert!(!probe.exists(&wal_name(0)));
+    }
+
+    #[test]
+    fn fsync_failure_quarantines_but_preserves_reads() {
+        let fs = MemFs::new();
+        let mut eng = Engine::open_with(Box::new(fs.clone()), opts()).unwrap();
+        eng.apply(&join(0.0, 0.0, 5.0)).unwrap();
+        // Next ops: append (ok), sync (fault).
+        fs.arm(fs.op_count() + 1, Fault::SyncError);
+        eng.apply(&join(9.0, 0.0, 5.0)).unwrap();
+        assert!(eng.is_quarantined());
+        assert_eq!(eng.net().node_count(), 2, "event still applied in memory");
+        let err = eng.apply(&join(1.0, 1.0, 5.0)).unwrap_err();
+        assert!(matches!(err, EngineError::Quarantined { .. }));
+        assert!(eng.snapshot().is_err());
+        assert!(eng.quarantine_reason().unwrap().contains("fsync"));
+    }
+
+    #[test]
+    fn auto_snapshot_fires_on_interval() {
+        let fs = MemFs::new();
+        let mut eng = Engine::open_with(
+            Box::new(fs.clone()),
+            EngineOptions {
+                snapshot_every: 4,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        for i in 0..9 {
+            eng.apply(&join(f64::from(i) * 5.0, 2.0, 5.0)).unwrap();
+        }
+        // 9 events, interval 4 → two rotations.
+        assert_eq!(eng.segment_seq(), 2);
+        let digest = eng.net().state_digest();
+        drop(eng);
+        let eng2 = Engine::open_with(Box::new(fs), opts()).unwrap();
+        assert_eq!(eng2.recovery_report().snapshot_seq, 2);
+        assert_eq!(eng2.recovery_report().events_total, 9);
+        assert_eq!(eng2.net().state_digest(), digest);
+    }
+
+    #[test]
+    fn reopen_keeps_snapshot_strategy_over_options() {
+        let fs = MemFs::new();
+        let mut eng = Engine::open_with(
+            Box::new(fs.clone()),
+            EngineOptions {
+                strategy: StrategyKind::Bbb,
+                snapshot_every: 0,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        eng.apply(&join(0.0, 0.0, 5.0)).unwrap();
+        drop(eng);
+        // Options ask for Minim, but the stored state is BBB's.
+        let eng2 = Engine::open_with(Box::new(fs), opts()).unwrap();
+        assert_eq!(eng2.strategy_kind(), StrategyKind::Bbb);
+    }
+}

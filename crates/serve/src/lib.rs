@@ -1,0 +1,42 @@
+//! Durability and recovery for the recoding engine.
+//!
+//! Everything upstream of this crate is deterministic by proof: the
+//! strategies in `minim-core` produce bit-identical state for a given
+//! event stream (the resident/batched equivalence suites pin this).
+//! `minim-serve` turns that determinism into **crash safety**: if
+//! every applied event is durably journaled first, then any crash
+//! leaves a valid prefix of the stream on disk, and replaying that
+//! prefix reproduces the pre-crash state exactly — not approximately.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`crc`] — compile-time-tabled CRC-32 guarding every stored byte.
+//! * [`fs`] — the [`FaultFs`] boundary: [`DiskFs`] for production,
+//!   [`MemFs`] with scripted faults (torn writes, fsync failures,
+//!   bit rot, full crashes) for the recovery test harness.
+//! * [`journal`] — length-prefixed checksummed frames and the
+//!   truncate-at-first-bad-frame recovery scanner.
+//! * [`codec`] — events and whole-network snapshots as deterministic
+//!   JSON (shortest-roundtrip floats, stable key order).
+//! * [`engine`] — the [`Engine`] facade: journal-then-apply, batched
+//!   fsync, auto-snapshot + segment rotation, and read-only
+//!   quarantine after write failures.
+//!
+//! The crate-level integration test (`tests/journal_recovery.rs` at
+//! the workspace root) crashes an engine at every scripted fault site
+//! and asserts the recovered state is digest-identical to an oracle
+//! that never crashed.
+
+#![deny(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod engine;
+pub mod fs;
+pub mod journal;
+
+pub use codec::{CodecError, SnapshotDoc};
+pub use crc::crc32;
+pub use engine::{Engine, EngineError, EngineOptions, RecoveryReport};
+pub use fs::{DiskFs, Fault, FaultFs, MemFs};
+pub use journal::{encode_frame, scan, ScanEnd, ScannedSegment};

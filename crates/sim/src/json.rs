@@ -191,9 +191,38 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// What class of failure a [`ParseError`] is. Callers that need to
+/// react differently to different failures (the journal recovery
+/// scanner treats any kind as frame corruption, but tests pin the
+/// specific rejection) match on this instead of parsing the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed syntax: unexpected character, bad literal, bad
+    /// escape, unterminated string, missing separator.
+    Syntax,
+    /// Input ended inside a value.
+    UnexpectedEof,
+    /// A complete value was followed by non-whitespace bytes.
+    TrailingGarbage,
+    /// An object repeated a key.
+    DuplicateKey,
+    /// A number token parsed to a non-finite `f64` (e.g. `1e999`) —
+    /// JSON has no `Infinity`, so silently accepting it would create
+    /// values the writer cannot round-trip.
+    NonFiniteNumber,
+    /// Arrays/objects nested beyond [`MAX_DEPTH`] (a depth bomb would
+    /// otherwise overflow the recursive parser's stack).
+    TooDeep,
+}
+
+/// Maximum array/object nesting depth [`parse`] accepts.
+pub const MAX_DEPTH: usize = 128;
+
 /// A parse failure: what went wrong and the byte offset it happened at.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
+    /// The failure class.
+    pub kind: ParseErrorKind,
     /// Human-readable description.
     pub message: String,
     /// Byte offset into the input.
@@ -212,24 +241,61 @@ impl std::error::Error for ParseError {}
 /// whitespace allowed).
 pub fn parse(input: &str) -> Result<Json, ParseError> {
     let bytes = input.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
     if p.pos != bytes.len() {
-        return Err(p.err("trailing characters after JSON value"));
+        return Err(p.err_kind(
+            ParseErrorKind::TrailingGarbage,
+            "trailing characters after JSON value",
+        ));
     }
     Ok(v)
+}
+
+/// Streaming variant of [`parse`]: parses **one** JSON value from the
+/// front of `input` (leading whitespace allowed) and returns it with
+/// the byte offset just past the value. Callers consuming a stream of
+/// concatenated documents — journal frame payloads, line-delimited
+/// exports — loop on the returned offset instead of pre-splitting the
+/// input.
+pub fn parse_prefix(input: &str) -> Result<(Json, usize), ParseError> {
+    let bytes = input.as_bytes();
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    Ok((v, p.pos))
 }
 
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current array/object nesting depth (depth-bomb guard).
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> ParseError {
+        let kind = if self.pos >= self.bytes.len() {
+            ParseErrorKind::UnexpectedEof
+        } else {
+            ParseErrorKind::Syntax
+        };
+        self.err_kind(kind, message)
+    }
+
+    fn err_kind(&self, kind: ParseErrorKind, message: &str) -> ParseError {
         ParseError {
+            kind,
             message: message.to_string(),
             at: self.pos,
         }
@@ -277,13 +343,29 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bumps the nesting depth on container entry, failing on a depth
+    /// bomb. The matching decrement happens in `object`/`array` on
+    /// their (sole) successful exits.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err_kind(
+                ParseErrorKind::TooDeep,
+                "arrays/objects nested deeper than MAX_DEPTH",
+            ));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         let mut keys = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -292,6 +374,7 @@ impl<'a> Parser<'a> {
             let key = self.string()?;
             if keys.insert(key.clone(), ()).is_some() {
                 return Err(ParseError {
+                    kind: ParseErrorKind::DuplicateKey,
                     message: format!("duplicate key {key:?}"),
                     at: key_at,
                 });
@@ -306,6 +389,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -315,10 +399,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -329,6 +415,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -415,9 +502,18 @@ impl<'a> Parser<'a> {
         }
         let text =
             std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
+        let n = text
+            .parse::<f64>()
+            .map_err(|_| self.err("invalid number"))?;
+        if !n.is_finite() {
+            // `"1e999".parse::<f64>()` is `Ok(inf)` in Rust — reject
+            // rather than admit a value the writer renders as `null`.
+            return Err(self.err_kind(
+                ParseErrorKind::NonFiniteNumber,
+                "number overflows to a non-finite f64",
+            ));
+        }
+        Ok(Json::Num(n))
     }
 }
 
@@ -469,6 +565,66 @@ mod tests {
         // Duplicate keys are a spec-file authoring error, not silently
         // last-wins.
         assert!(parse("{\"a\":1,\"a\":2}").is_err());
+    }
+
+    #[test]
+    fn typed_error_kinds() {
+        let kind = |input: &str| parse(input).unwrap_err().kind;
+        assert_eq!(kind("1 2"), ParseErrorKind::TrailingGarbage);
+        assert_eq!(kind("[1] x"), ParseErrorKind::TrailingGarbage);
+        assert_eq!(kind("{\"a\":1,\"a\":2}"), ParseErrorKind::DuplicateKey);
+        assert_eq!(kind("{"), ParseErrorKind::UnexpectedEof);
+        assert_eq!(kind("\"unterminated"), ParseErrorKind::UnexpectedEof);
+        assert_eq!(kind("[1,]"), ParseErrorKind::Syntax);
+        assert_eq!(kind("tru"), ParseErrorKind::Syntax);
+    }
+
+    #[test]
+    fn rejects_numbers_that_overflow_to_infinity() {
+        for bad in ["1e999", "-1e999", "123456789e307"] {
+            let err = parse(bad).unwrap_err();
+            assert_eq!(err.kind, ParseErrorKind::NonFiniteNumber, "{bad:?}");
+        }
+        // The largest finite doubles still parse.
+        assert!(parse("1.7976931348623157e308").is_ok());
+        assert!(parse("-1.7976931348623157e308").is_ok());
+    }
+
+    #[test]
+    fn rejects_depth_bombs_without_overflowing() {
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = parse(&deep).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooDeep);
+        let bomb = "[".repeat(200_000);
+        let err = parse(&bomb).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooDeep);
+        // ...and exactly MAX_DEPTH is fine (siblings don't count:
+        // depth is nesting, not total containers).
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+        assert!(parse("[[1],[2],[3],[{},{}]]").is_ok());
+    }
+
+    #[test]
+    fn parse_prefix_streams_concatenated_documents() {
+        let stream = " {\"a\":1} [2,3]\n\"tail\" ";
+        let mut at = 0;
+        let mut values = Vec::new();
+        while !stream[at..].trim_start().is_empty() {
+            let (v, used) = parse_prefix(&stream[at..]).unwrap();
+            values.push(v);
+            at += used;
+        }
+        assert_eq!(
+            values,
+            vec![
+                Json::obj(vec![("a", Json::Num(1.0))]),
+                Json::Arr(vec![Json::Num(2.0), Json::Num(3.0)]),
+                Json::Str("tail".into()),
+            ]
+        );
+        // A torn tail surfaces as an error, not a panic.
+        assert!(parse_prefix("{\"a\":").is_err());
     }
 
     #[test]

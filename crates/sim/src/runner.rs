@@ -408,18 +408,6 @@ pub fn run_events_batched_with(
 /// the caller brings (shards are dealt across threads).
 pub const DEFAULT_RESIDENT_SHARDS: usize = 8;
 
-/// Structural digest of a network: node count, id watermark, edge
-/// count, max color. Cheap to compute; used to detect that someone
-/// mutated the network outside the resident executor.
-fn fingerprint(net: &Network) -> (usize, u32, usize, u32) {
-    (
-        net.node_count(),
-        net.peek_next_id().0,
-        net.graph().edge_count(),
-        net.max_color_index(),
-    )
-}
-
 /// The tentpole of the resident path: long-lived spatial-ownership
 /// shards that survive across event slices.
 ///
@@ -473,7 +461,7 @@ struct ResidentState {
     route: SliceRoute,
     /// Per-shard queued event indices of the wave being accumulated.
     queues: Vec<Vec<usize>>,
-    fingerprint: (usize, u32, usize, u32),
+    fingerprint: minim_net::NetworkFingerprint,
 }
 
 impl ResidentState {
@@ -500,7 +488,7 @@ impl ResidentState {
             subs: subs.into_iter().map(|s| Mutex::new(Some(s))).collect(),
             map,
             route: SliceRoute::default(),
-            fingerprint: fingerprint(net),
+            fingerprint: net.fingerprint(),
         }
     }
 
@@ -763,7 +751,7 @@ impl ResidentExecutor {
         }
         let t0 = std::time::Instant::now();
         let workers = self.workers;
-        let fp = fingerprint(net);
+        let fp = net.fingerprint();
         let state = match &mut self.state {
             Some(s) if s.fingerprint == fp => s,
             _ => {
@@ -828,7 +816,7 @@ impl ResidentExecutor {
         );
         recodings += r;
         edge_churn += c;
-        state.fingerprint = fingerprint(net);
+        state.fingerprint = net.fingerprint();
 
         let elapsed = t0.elapsed().as_secs_f64();
         let health = ShardHealth {

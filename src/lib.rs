@@ -28,6 +28,9 @@
 //!   the application cost of recoding (retune outages).
 //! * [`sim`] — the experiment harness that regenerates the paper's
 //!   figures.
+//! * [`serve`] — durability: the write-ahead event journal, checksummed
+//!   snapshots, crash-safe [`serve::Engine`] facade, and the
+//!   fault-injection filesystem behind the recovery test harness.
 //!
 //! ## Quickstart
 //!
@@ -58,4 +61,5 @@ pub use minim_net as net;
 pub use minim_power as power;
 pub use minim_proto as proto;
 pub use minim_radio as radio;
+pub use minim_serve as serve;
 pub use minim_sim as sim;
