@@ -16,6 +16,12 @@
 //! asserting bit-identity and a healthy shard structure (shard count
 //! > 1, bounded border-event fraction) and recording the speedup.
 //!
+//! A `profile-overhead` arm (schema v3) times the metropolis churn
+//! preset with the minim-obs registry recording vs runtime-disabled —
+//! the observability spine must cost under 3% throughput — and embeds
+//! the instrumented run's `minim-trace/1` document in the artifact so
+//! CI can validate the trace schema end to end.
+//!
 //! Run via `cargo bench -p minim-bench --bench events`; CI uploads the
 //! JSON as an artifact so the trajectory accumulates across commits.
 //! Override the sweep with `MINIM_BENCH_EVENTS_NS=500,2000` and the
@@ -402,13 +408,85 @@ fn main() {
         ]));
     }
 
+    // Profile overhead: the same metropolis churn preset, minim-obs
+    // recording vs runtime-disabled, reps interleaved so drift hits
+    // both arms equally. The spine's cost per instrumented event is a
+    // TLS read plus a relaxed fetch_add, so the median overhead must
+    // stay under 3%. (Under `--features obs-off` both arms run the
+    // same site-free code and the ratio just measures noise.)
+    let mut profile_overhead: Vec<Json> = Vec::new();
+    let trace_doc;
+    {
+        let n = 4_000usize;
+        let w = build_workloads(n, seed, false)
+            .into_iter()
+            .find(|w| w.name == "churn")
+            .expect("churn workload present");
+        let reps = 9usize;
+        let arm = |record: bool| -> f64 {
+            minim_obs::set_enabled(record);
+            let mut net = w.base.clone();
+            let mut s = Minim::default();
+            let t = Instant::now();
+            run_events(&mut s, &mut net, &w.events);
+            t.elapsed().as_secs_f64()
+        };
+        let mut on_times = Vec::with_capacity(reps);
+        let mut off_times = Vec::with_capacity(reps);
+        arm(true); // warm-up: caches, interning
+        for _ in 0..reps {
+            off_times.push(arm(false));
+            on_times.push(arm(true));
+        }
+        minim_obs::set_enabled(true);
+        on_times.sort_by(f64::total_cmp);
+        off_times.sort_by(f64::total_cmp);
+        let on_secs = on_times[reps / 2];
+        let off_secs = off_times[reps / 2];
+        let overhead = on_secs / off_secs - 1.0;
+        println!(
+            "profile-overhead/N={n}: disabled {:>9.0} events/s | recording {:>9.0} events/s | overhead {:+.2}%",
+            w.events.len() as f64 / off_secs,
+            w.events.len() as f64 / on_secs,
+            overhead * 100.0,
+        );
+        assert!(
+            overhead < 0.03,
+            "observability overhead on metropolis churn must stay under 3%, \
+             measured {:.2}% (recording {on_secs:.4}s vs disabled {off_secs:.4}s)",
+            overhead * 100.0
+        );
+        profile_overhead.push(Json::obj(vec![
+            ("n", Json::Num(n as f64)),
+            ("events", Json::Num(w.events.len() as f64)),
+            (
+                "disabled_events_per_sec",
+                Json::Num(w.events.len() as f64 / off_secs),
+            ),
+            (
+                "recording_events_per_sec",
+                Json::Num(w.events.len() as f64 / on_secs),
+            ),
+            ("overhead", Json::Num(overhead)),
+            ("obs_compiled", Json::Bool(minim_obs::COMPILED)),
+        ]));
+
+        // One more instrumented pass against a clean registry, so the
+        // embedded trace document describes exactly this workload.
+        minim_obs::reset();
+        arm(true);
+        trace_doc = minim_sim::trace::trace_document();
+    }
+
     let doc = Json::obj(vec![
-        ("schema", Json::Str("minim-bench-events/2".to_string())),
+        ("schema", Json::Str("minim-bench-events/3".to_string())),
         ("cores", Json::Num(cores as f64)),
         ("batch_workers", Json::Num(WORKERS as f64)),
         ("results", Json::Arr(results)),
         ("lighthouse", Json::Arr(lighthouse)),
         ("resident-vs-replan", Json::Arr(resident_vs_replan)),
+        ("profile-overhead", Json::Arr(profile_overhead)),
+        ("trace", trace_doc),
     ]);
     std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_events.json");
     println!("wrote {out_path}");

@@ -10,7 +10,8 @@
 //! minim-lab run <preset | spec.json> [--runs K] [--seed S] [--workers W]
 //!                                    [--batched P] [--resident P]
 //!                                    [--format table|json|csv|all]
-//!                                    [--out DIR] [--quiet]
+//!                                    [--out DIR] [--metrics-out FILE]
+//!                                    [--quiet]
 //! minim-lab serve-replay <dir> [--gen N] [--seed S] [--strategy NAME]
 //!                              [--snapshot-every K]
 //! ```
@@ -28,7 +29,13 @@
 //!   like `metropolis`, whose shard health (shard count, border-event
 //!   fraction, events/sec) is printed with the summary; `--format`
 //!   picks the stdout rendering (default `table`); `--out DIR`
-//!   additionally writes `<name>.json` and `<name>.csv`.
+//!   additionally writes `<name>.json` and `<name>.csv`;
+//!   `--metrics-out FILE` resets the minim-obs registry before the
+//!   sweep and afterwards writes the full `minim-trace/1` document
+//!   (counters, gauges, latency histograms, span profile tree) to
+//!   `FILE`, with a one-screen metrics summary printed alongside the
+//!   tables. This replaces the old `MINIM_BATCH_DEBUG` eprintln hook:
+//!   the batched/resident phase timings now land on spans.
 //! * `serve-replay` — opens (or creates) a durable engine directory:
 //!   recovery replays the journal, prints the [`RecoveryReport`], and
 //!   with `--gen N` feeds `N` fresh churn events through the
@@ -49,7 +56,8 @@ fn usage() -> ! {
         "minim-lab — declarative scenario lab\n\n\
          USAGE:\n  minim-lab list\n  minim-lab show <preset>\n  \
          minim-lab run <preset | spec.json> [--runs K] [--seed S] [--workers W]\n\
-         \u{20}                                  [--batched P] [--resident P] [--format table|json|csv|all] [--out DIR] [--quiet]\n  \
+         \u{20}                                  [--batched P] [--resident P] [--format table|json|csv|all]\n\
+         \u{20}                                  [--out DIR] [--metrics-out FILE] [--quiet]\n  \
          minim-lab serve-replay <dir> [--gen N] [--seed S] [--strategy Minim|CP|BBB] [--snapshot-every K]\n\n\
          Presets: see `minim-lab list`. A spec file is the JSON printed by `show`."
     );
@@ -112,6 +120,7 @@ struct RunArgs {
     resident: Option<usize>,
     format: String,
     out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -125,6 +134,7 @@ fn parse_run_args(argv: &[String]) -> RunArgs {
         resident: None,
         format: "table".into(),
         out: None,
+        metrics_out: None,
         quiet: false,
     };
     let mut i = 0;
@@ -186,6 +196,9 @@ fn parse_run_args(argv: &[String]) -> RunArgs {
                 }
             }
             "--out" => args.out = Some(PathBuf::from(parse_next(&mut i, "--out"))),
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(parse_next(&mut i, "--metrics-out")))
+            }
             "--quiet" => args.quiet = true,
             other if args.target.is_empty() && !other.starts_with('-') => {
                 args.target = other.to_string();
@@ -246,6 +259,9 @@ fn cmd_run(argv: &[String]) -> ExitCode {
             cfg.seed
         );
     }
+    // Scope the trace to this sweep: the registry is process-global,
+    // so clear whatever startup recorded before the run begins.
+    minim_obs::reset();
     let quiet = args.quiet;
     let result = scenario.run_with_progress(&cfg, |p: SweepProgress| {
         if !quiet {
@@ -283,12 +299,21 @@ fn emit(args: &RunArgs, result: &SweepResult) -> ExitCode {
                     h.events_per_sec
                 );
             }
+            print!("{}", metrics_summary(result));
             if args.format == "all" {
                 println!("{}", result.to_json_string());
                 print!("{}", result.to_csv());
             }
         }
         _ => unreachable!("validated in parse_run_args"),
+    }
+    if let Some(path) = &args.metrics_out {
+        let doc = minim_sim::trace::trace_document();
+        std::fs::write(path, doc.to_string_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+        if !args.quiet {
+            eprintln!("minim-lab: wrote trace {}", path.display());
+        }
     }
     if let Some(dir) = &args.out {
         std::fs::create_dir_all(dir)
@@ -308,6 +333,77 @@ fn emit(args: &RunArgs, result: &SweepResult) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Renders a nanosecond duration with a human unit (ns/µs/ms/s).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// One-screen rendering of the sweep's minim-obs state: the busiest
+/// counters, every latency histogram, and the top of the span profile
+/// tree (two levels, self/total split).
+fn metrics_summary(result: &SweepResult) -> String {
+    use std::fmt::Write as _;
+    let snap = &result.metrics;
+    let mut out = String::new();
+    if snap.counters.is_empty() && snap.histograms.is_empty() && snap.spans_recorded == 0 {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "metrics: {} counters, {} gauges, {} histograms, {} spans ({} dropped)",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len(),
+        snap.spans_recorded,
+        snap.spans_dropped
+    );
+    let mut counters = snap.counters.clone();
+    counters.sort_by_key(|c| std::cmp::Reverse(c.1));
+    for (name, v) in counters.iter().take(8) {
+        let _ = writeln!(out, "  {name:<28} {v:>12}");
+    }
+    for h in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} obs   mean {:>8}   max {:>8}",
+            h.name,
+            h.count,
+            fmt_ns(h.mean_ns() as u64),
+            fmt_ns(h.max_ns)
+        );
+    }
+    let prof = minim_obs::profile();
+    if !prof.roots.is_empty() {
+        let _ = writeln!(out, "profile:");
+        for root in prof.roots.iter().take(6) {
+            let _ = writeln!(
+                out,
+                "  {:<28} total {:>8}   self {:>8}   x{}",
+                root.name,
+                fmt_ns(root.total_ns),
+                fmt_ns(root.self_ns),
+                root.count
+            );
+            for child in root.children.iter().take(6) {
+                let _ = writeln!(
+                    out,
+                    "    {:<26} total {:>8}   self {:>8}   x{}",
+                    child.name,
+                    fmt_ns(child.total_ns),
+                    fmt_ns(child.self_ns),
+                    child.count
+                );
+            }
+        }
+    }
+    out
 }
 
 struct ServeReplayArgs {

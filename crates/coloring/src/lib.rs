@@ -21,6 +21,8 @@
 //!   heuristic quality on small graphs in tests.
 //! * [`validate_coloring`] — proper-coloring check.
 
+#![deny(missing_docs)]
+
 use minim_graph::UGraph;
 
 /// A coloring of a dense [`UGraph`]: `colors[v]` is the color of vertex

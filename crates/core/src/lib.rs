@@ -21,6 +21,8 @@
 //! 4.2.3, 4.3.3, 4.4.4), and [`gossip`] implements the future-work
 //! extension sketched in §6 (background code-reuse compaction).
 
+#![deny(missing_docs)]
+
 pub mod bbb;
 pub mod bounds;
 pub mod cp;

@@ -28,6 +28,8 @@
 //!   forest, shared by `minim-net`'s batch sharding and
 //!   `minim-power`'s island-parallel relaxation.
 
+#![deny(missing_docs)]
+
 pub mod assign;
 pub mod components;
 pub mod conflict;

@@ -21,6 +21,8 @@
 //! * [`brute`] — exhaustive oracles for small instances, used by the
 //!   property tests and the optimality-among-minimal experiments.
 
+#![deny(missing_docs)]
+
 pub mod auction;
 pub mod brute;
 pub mod hopcroft_karp;

@@ -123,19 +123,23 @@ pub fn apply_topology_delta(
 ) -> (AppliedEvent, crate::TopologyDelta) {
     match event {
         Event::Join { cfg } => {
+            minim_obs::counter!("net.apply.join", 1);
             let id = join_id.unwrap_or_else(|| net.next_id());
             let delta = net.insert_node(id, *cfg);
             (AppliedEvent::Joined(id), delta)
         }
         Event::Leave { node } => {
+            minim_obs::counter!("net.apply.leave", 1);
             let delta = net.remove_node(*node);
             (AppliedEvent::Left(*node), delta)
         }
         Event::Move { node, to } => {
+            minim_obs::counter!("net.apply.move", 1);
             let delta = net.move_node(*node, *to);
             (AppliedEvent::Moved(*node), delta)
         }
         Event::SetRange { node, range } => {
+            minim_obs::counter!("net.apply.set_range", 1);
             let dir = event.power_direction(net).expect("node must exist");
             let delta = net.set_range(*node, *range);
             (AppliedEvent::RangeChanged(*node, dir), delta)

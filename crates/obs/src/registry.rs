@@ -1,0 +1,427 @@
+//! The metrics registry: interned keys, fixed-slot storage, sharded
+//! relaxed atomics.
+//!
+//! Layout
+//! ------
+//! Keys are interned once per call site (via [`crate::obs_key!`]'s
+//! `OnceLock`) into a table of `(&'static str, Kind)` pairs guarded by
+//! a plain mutex — interning is cold, hot paths only carry the small
+//! [`Key`] handle out. Each kind owns a dense id space indexing
+//! fixed-capacity atomic arrays allocated once at registry init:
+//!
+//! * **counters** — `SHARDS × MAX_COUNTERS` relaxed `AtomicU64`s; a
+//!   thread picks its shard lane on first use (round-robin over a
+//!   global counter) so concurrent increments do not bounce a single
+//!   cache line. Reads sum across shards.
+//! * **gauges** — one `AtomicU64` per key holding `f64` bits,
+//!   last-write-wins.
+//! * **histograms** — log2-bucketed latency histograms: 64 buckets
+//!   (bucket *b* counts values in `[2^(b-1), 2^b)`), plus
+//!   count/sum/min/max atomics. Unsharded — histogram sites are
+//!   per-settle / per-append, not per-event.
+//!
+//! Steady-state updates are a thread-local read, an index computation,
+//! and a relaxed `fetch_add` — no locks, no allocation. The only
+//! allocations ever made are the registry arrays themselves (once, on
+//! first touch) and span rings (once per ring slot, see
+//! [`crate::span`]); both are warm before any measured steady state.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Maximum number of counter keys.
+pub const MAX_COUNTERS: usize = 192;
+/// Maximum number of gauge keys.
+pub const MAX_GAUGES: usize = 64;
+/// Maximum number of histogram keys.
+pub const MAX_HISTOGRAMS: usize = 64;
+/// Maximum number of span keys.
+pub const MAX_SPANS: usize = 128;
+/// Counter shard lanes (threads map round-robin onto these).
+pub const SHARDS: usize = 8;
+/// Log2 buckets per histogram.
+pub const HIST_BUCKETS: usize = 64;
+
+/// What a key addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonic event count.
+    Counter,
+    /// Last-write-wins `f64` value.
+    Gauge,
+    /// Log2-bucketed latency histogram (nanoseconds).
+    Histogram,
+    /// Span name for the tracing rings.
+    Span,
+}
+
+/// An interned metric key: a kind plus a dense per-kind slot index.
+/// Cheap to copy; obtained once per site via [`crate::obs_key!`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Key {
+    kind: Kind,
+    id: u16,
+}
+
+impl Key {
+    /// The key's kind.
+    pub fn kind(self) -> Kind {
+        self.kind
+    }
+
+    /// The dense per-kind slot index.
+    pub fn id(self) -> u16 {
+        self.id
+    }
+}
+
+/// One histogram's storage.
+pub(crate) struct Hist {
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+    pub(crate) buckets: Vec<AtomicU64>,
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The process-wide registry. Heap-allocated once on first touch so
+/// the (few-hundred-KiB) atomic arrays never sit in `.bss`.
+pub(crate) struct Registry {
+    /// Interned `(name, kind)` pairs in intern order; a key's per-kind
+    /// id counts same-kind entries before it. Cold path only.
+    pub(crate) names: Mutex<Vec<(&'static str, Kind)>>,
+    /// `SHARDS × MAX_COUNTERS`, shard-major.
+    pub(crate) counters: Vec<AtomicU64>,
+    /// `f64` bits per gauge key.
+    pub(crate) gauges: Vec<AtomicU64>,
+    pub(crate) hists: Vec<Hist>,
+    pub(crate) rings: Vec<crate::span::Ring>,
+    /// Monotonic epoch; span timestamps are offsets from this.
+    pub(crate) epoch: Instant,
+    pub(crate) enabled: AtomicBool,
+    /// Round-robin source for thread shard / ring assignment.
+    pub(crate) thread_ctr: AtomicUsize,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+pub(crate) fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        names: Mutex::new(Vec::with_capacity(64)),
+        counters: (0..SHARDS * MAX_COUNTERS)
+            .map(|_| AtomicU64::new(0))
+            .collect(),
+        gauges: (0..MAX_GAUGES).map(|_| AtomicU64::new(0)).collect(),
+        hists: (0..MAX_HISTOGRAMS).map(|_| Hist::new()).collect(),
+        rings: (0..crate::span::MAX_RINGS)
+            .map(|_| crate::span::Ring::new())
+            .collect(),
+        epoch: Instant::now(),
+        enabled: AtomicBool::new(true),
+        thread_ctr: AtomicUsize::new(0),
+    })
+}
+
+thread_local! {
+    /// This thread's counter shard lane; `u16::MAX` until first use.
+    static SHARD: std::cell::Cell<u16> = const { std::cell::Cell::new(u16::MAX) };
+}
+
+/// The calling thread's counter shard, assigned round-robin on first
+/// use. Allocation-free (const-initialised TLS, `Copy` cell).
+#[inline]
+pub(crate) fn thread_shard() -> usize {
+    SHARD.with(|s| {
+        let v = s.get();
+        if v != u16::MAX {
+            return v as usize;
+        }
+        let lane = registry().thread_ctr.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        s.set(lane as u16);
+        lane
+    })
+}
+
+/// Whether the registry is recording. A disabled registry costs one
+/// relaxed load and a branch per instrumentation site.
+#[inline]
+pub fn enabled() -> bool {
+    if !crate::COMPILED {
+        return false;
+    }
+    registry().enabled.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off at runtime (default: on). Sites become
+/// a single load-and-branch while off.
+pub fn set_enabled(on: bool) {
+    if crate::COMPILED {
+        registry().enabled.store(on, Ordering::Relaxed);
+    }
+}
+
+/// Interns `name` under `kind`, returning the existing key if the
+/// pair was seen before. Cold: call once per site and cache the
+/// [`Key`] (the [`crate::obs_key!`] macro does exactly that).
+///
+/// # Panics
+/// Panics if the fixed per-kind key table is full.
+pub fn intern(name: &'static str, kind: Kind) -> Key {
+    if !crate::COMPILED {
+        return Key { kind, id: 0 };
+    }
+    let reg = registry();
+    let mut names = reg.names.lock().unwrap();
+    let mut id = 0u16;
+    for &(n, k) in names.iter() {
+        if k == kind {
+            if n == name {
+                return Key { kind, id };
+            }
+            id += 1;
+        }
+    }
+    let cap = match kind {
+        Kind::Counter => MAX_COUNTERS,
+        Kind::Gauge => MAX_GAUGES,
+        Kind::Histogram => MAX_HISTOGRAMS,
+        Kind::Span => MAX_SPANS,
+    };
+    assert!(
+        (id as usize) < cap,
+        "minim-obs: key table full for {kind:?} interning {name:?}"
+    );
+    names.push((name, kind));
+    Key { kind, id }
+}
+
+/// Adds `n` to a counter. Relaxed, sharded, allocation-free.
+#[inline]
+pub fn counter_add(key: Key, n: u64) {
+    if !crate::COMPILED {
+        return;
+    }
+    debug_assert_eq!(key.kind, Kind::Counter);
+    let reg = registry();
+    if !reg.enabled.load(Ordering::Relaxed) {
+        return;
+    }
+    let slot = thread_shard() * MAX_COUNTERS + key.id as usize;
+    reg.counters[slot].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Sets a gauge to `v` (last write wins). Allocation-free.
+#[inline]
+pub fn gauge_set(key: Key, v: f64) {
+    if !crate::COMPILED {
+        return;
+    }
+    debug_assert_eq!(key.kind, Kind::Gauge);
+    let reg = registry();
+    if !reg.enabled.load(Ordering::Relaxed) {
+        return;
+    }
+    reg.gauges[key.id as usize].store(v.to_bits(), Ordering::Relaxed);
+}
+
+/// Log2 bucket index for a nanosecond value: 0 for 0, otherwise the
+/// bit length of `v` clamped to the top bucket.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Records a nanosecond observation into a histogram. Allocation-free.
+#[inline]
+pub fn observe_ns(key: Key, ns: u64) {
+    if !crate::COMPILED {
+        return;
+    }
+    debug_assert_eq!(key.kind, Kind::Histogram);
+    let reg = registry();
+    if !reg.enabled.load(Ordering::Relaxed) {
+        return;
+    }
+    let h = &reg.hists[key.id as usize];
+    h.count.fetch_add(1, Ordering::Relaxed);
+    h.sum.fetch_add(ns, Ordering::Relaxed);
+    h.min.fetch_min(ns, Ordering::Relaxed);
+    h.max.fetch_max(ns, Ordering::Relaxed);
+    h.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// One histogram in a [`MetricsSnapshot`]: totals plus the non-empty
+/// log2 buckets as `(bucket exponent, count)` — bucket `b` counted
+/// values in `[2^(b-1), 2^b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Interned key name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations (ns).
+    pub sum_ns: u64,
+    /// Smallest observation (0 when empty).
+    pub min_ns: u64,
+    /// Largest observation (0 when empty).
+    pub max_ns: u64,
+    /// Non-empty `(bucket exponent, count)` pairs, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every interned metric, sorted by name
+/// within each kind. Produced by [`snapshot`]; serialisation lives
+/// with the caller (the registry stays dependency-free).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, summed across shards.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Span records currently resident in the tracing rings.
+    pub spans_recorded: u64,
+    /// Span records overwritten by the drop-oldest ring policy, plus
+    /// spans discarded for exceeding the fixed nesting depth.
+    pub spans_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Captures the current value of every interned metric. Cold path —
+/// allocates freely; never call from a measured steady state.
+pub fn snapshot() -> MetricsSnapshot {
+    if !crate::COMPILED {
+        return MetricsSnapshot::default();
+    }
+    let reg = registry();
+    let names = reg.names.lock().unwrap().clone();
+    let mut snap = MetricsSnapshot::default();
+    let (mut nc, mut ng, mut nh) = (0usize, 0usize, 0usize);
+    for (name, kind) in names {
+        match kind {
+            Kind::Counter => {
+                let mut total = 0u64;
+                for s in 0..SHARDS {
+                    total = total
+                        .wrapping_add(reg.counters[s * MAX_COUNTERS + nc].load(Ordering::Relaxed));
+                }
+                snap.counters.push((name.to_string(), total));
+                nc += 1;
+            }
+            Kind::Gauge => {
+                let bits = reg.gauges[ng].load(Ordering::Relaxed);
+                snap.gauges.push((name.to_string(), f64::from_bits(bits)));
+                ng += 1;
+            }
+            Kind::Histogram => {
+                let h = &reg.hists[nh];
+                let count = h.count.load(Ordering::Relaxed);
+                let min = h.min.load(Ordering::Relaxed);
+                snap.histograms.push(HistogramSnapshot {
+                    name: name.to_string(),
+                    count,
+                    sum_ns: h.sum.load(Ordering::Relaxed),
+                    min_ns: if count == 0 { 0 } else { min },
+                    max_ns: h.max.load(Ordering::Relaxed),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(b, c)| {
+                            let c = c.load(Ordering::Relaxed);
+                            (c > 0).then_some((b as u32, c))
+                        })
+                        .collect(),
+                });
+                nh += 1;
+            }
+            Kind::Span => {}
+        }
+    }
+    snap.counters.sort();
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    let (recorded, dropped) = crate::span::ring_totals();
+    snap.spans_recorded = recorded;
+    snap.spans_dropped = dropped;
+    snap
+}
+
+/// Zeroes every metric and clears the span rings. Interned keys (and
+/// the `Key` handles sites cached) stay valid. Meant for benches and
+/// the lab CLI to scope a measurement; racing writers lose updates
+/// but nothing breaks.
+pub fn reset() {
+    if !crate::COMPILED {
+        return;
+    }
+    let reg = registry();
+    for c in &reg.counters {
+        c.store(0, Ordering::Relaxed);
+    }
+    for g in &reg.gauges {
+        g.store(0, Ordering::Relaxed);
+    }
+    for h in &reg.hists {
+        h.reset();
+    }
+    crate::span::reset_rings();
+}

@@ -83,6 +83,20 @@ pub struct SessionReport {
     pub widest_island: usize,
 }
 
+impl SessionReport {
+    /// Flushes this settle's statistics into the minim-obs registry:
+    /// accumulated once per settle (not per inner-loop step) so the
+    /// relaxation stays allocation-free and essentially unperturbed.
+    fn record_metrics(&self, elapsed_ns: u64) {
+        minim_obs::counter!("power.settle.calls", 1);
+        minim_obs::counter!("power.settle.updates", self.updates);
+        minim_obs::counter!("power.settle.islands", self.islands as u64);
+        minim_obs::gauge!("power.settle.links", self.links as f64);
+        minim_obs::gauge!("power.settle.widest_island", self.widest_island as f64);
+        minim_obs::observe_ns!("power.settle_ns", elapsed_ns);
+    }
+}
+
 /// A long-lived continuous power-control loop: incremental SINR
 /// field, nearest-neighbor uplink maintenance, and warm-started
 /// active-set relaxation, lowered to [`Event::SetRange`] corrections.
@@ -450,6 +464,8 @@ impl PowerSession {
     /// sequential sweep at every worker count. Steady-state calls at
     /// `workers == 1` are allocation-free once the buffers are warm.
     pub fn settle(&mut self) -> (&[Event], SessionReport) {
+        let _span = minim_obs::span!("power.settle");
+        let settle_start = std::time::Instant::now();
         self.events.clear();
         let live = self.field.live_links();
         if live < 2 {
@@ -457,17 +473,16 @@ impl PowerSession {
             // a cold start when the population returns.
             self.field.take_dirty(&mut self.dirty_buf);
             self.warmed = false;
-            return (
-                &self.events,
-                SessionReport {
-                    verdict: Verdict::Converged,
-                    updates: 0,
-                    infeasible: 0,
-                    links: live,
-                    islands: 0,
-                    widest_island: 0,
-                },
-            );
+            let report = SessionReport {
+                verdict: Verdict::Converged,
+                updates: 0,
+                infeasible: 0,
+                links: live,
+                islands: 0,
+                widest_island: 0,
+            };
+            report.record_metrics(settle_start.elapsed().as_nanos() as u64);
+            return (&self.events, report);
         }
         self.field.take_dirty(&mut self.dirty_buf);
         let warm = self.warmed && matches!(self.control.ladder, PowerLadder::Continuous);
@@ -503,17 +518,16 @@ impl PowerSession {
         } else {
             0
         };
-        (
-            &self.events,
-            SessionReport {
-                verdict: report.verdict,
-                updates: report.updates,
-                infeasible,
-                links: live,
-                islands: report.islands,
-                widest_island: report.widest_island,
-            },
-        )
+        let session_report = SessionReport {
+            verdict: report.verdict,
+            updates: report.updates,
+            infeasible,
+            links: live,
+            islands: report.islands,
+            widest_island: report.widest_island,
+        };
+        session_report.record_metrics(settle_start.elapsed().as_nanos() as u64);
+        (&self.events, session_report)
     }
 }
 

@@ -715,6 +715,7 @@ impl SinrField {
     #[inline]
     pub fn interference_with<F: Fn(u32) -> f64>(&self, load: F, i: usize) -> f64 {
         let (ids, gains) = self.rows.row(i);
+        minim_obs::counter!("power.accum.batches", 1);
         self.budget.noise + crate::accum::weighted_sum(ids, gains, load)
     }
 

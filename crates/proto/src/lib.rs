@@ -22,6 +22,8 @@
 //! is asserted by the tests, and is the faithful reading of the paper:
 //! the distribution changes who computes, not what is computed.
 
+#![deny(missing_docs)]
+
 pub mod engine;
 pub mod events;
 pub mod join;

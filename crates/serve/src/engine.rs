@@ -213,7 +213,18 @@ impl Engine {
 
     /// Opens an engine over any [`FaultFs`] — the entry point the
     /// fault-injection tests use with a scripted [`crate::MemFs`].
-    pub fn open_with(mut fs: Box<dyn FaultFs>, opts: EngineOptions) -> Result<Engine, EngineError> {
+    pub fn open_with(fs: Box<dyn FaultFs>, opts: EngineOptions) -> Result<Engine, EngineError> {
+        let _span = minim_obs::span!("serve.recover");
+        let t0 = std::time::Instant::now();
+        let result = Engine::open_with_inner(fs, opts);
+        minim_obs::observe_ns!("serve.recover_ns", t0.elapsed().as_nanos() as u64);
+        result
+    }
+
+    fn open_with_inner(
+        mut fs: Box<dyn FaultFs>,
+        opts: EngineOptions,
+    ) -> Result<Engine, EngineError> {
         let names = fs
             .list()
             .map_err(|source| EngineError::Io { op: "list", source })?;
@@ -403,6 +414,7 @@ impl Engine {
 
     fn quarantine_now(&mut self, reason: String) {
         if self.quarantine.is_none() {
+            minim_obs::counter!("serve.quarantined", 1);
             self.quarantine = Some(reason);
         }
     }
@@ -430,11 +442,13 @@ impl Engine {
     /// write failure the engine quarantines; see the module docs for
     /// which failures still apply the event in memory.
     pub fn apply(&mut self, event: &Event) -> Result<AppliedEvent, EngineError> {
+        let _span = minim_obs::span!("serve.apply");
         self.guard()?;
         self.check_event(event)?;
 
         let payload = codec::encode_event(event);
         let frame = journal::encode_frame(payload.as_bytes());
+        let t_append = std::time::Instant::now();
         if let Err(source) = self.fs.append(&wal_name(self.seq), &frame) {
             // Not applied: the frame may be torn on disk, and recovery
             // will truncate it — memory and disk agree the event never
@@ -445,15 +459,21 @@ impl Engine {
                 source,
             });
         }
+        minim_obs::observe_ns!("serve.append_ns", t_append.elapsed().as_nanos() as u64);
         self.appends_since_sync += 1;
 
         let mut sync_failure = None;
         if self.opts.sync_every > 0 && self.appends_since_sync >= self.opts.sync_every {
+            let t_sync = std::time::Instant::now();
             match self.fs.sync(&wal_name(self.seq)) {
-                Ok(()) => self.appends_since_sync = 0,
+                Ok(()) => {
+                    minim_obs::observe_ns!("serve.fsync_ns", t_sync.elapsed().as_nanos() as u64);
+                    self.appends_since_sync = 0;
+                }
                 Err(source) => sync_failure = Some(source),
             }
         }
+        minim_obs::counter!("serve.events", 1);
 
         // The append succeeded, so the in-memory state advances even if
         // the fsync just failed: the event is journaled-but-
@@ -482,6 +502,8 @@ impl Engine {
     /// failure the engine quarantines and the old generation remains
     /// authoritative.
     pub fn snapshot(&mut self) -> Result<(), EngineError> {
+        let _span = minim_obs::span!("serve.snapshot");
+        let t0 = std::time::Instant::now();
         self.guard()?;
         let next = self.seq + 1;
         let doc = codec::encode_snapshot(&self.net, self.strategy_kind, self.events_applied);
@@ -505,6 +527,7 @@ impl Engine {
         self.seq = next;
         self.events_since_snapshot = 0;
         self.appends_since_sync = 0;
+        minim_obs::observe_ns!("serve.snapshot_ns", t0.elapsed().as_nanos() as u64);
         Ok(())
     }
 
@@ -568,6 +591,17 @@ impl Engine {
     /// The failure that triggered quarantine, if any.
     pub fn quarantine_reason(&self) -> Option<&str> {
         self.quarantine.as_deref()
+    }
+
+    /// A point-in-time copy of the minim-obs registry for embedders:
+    /// `serve.*` counters and latency histograms (append/fsync/
+    /// snapshot/recovery), alongside whatever other instrumented
+    /// subsystems recorded in this process. The registry is
+    /// process-global, so counts from other engines (or the sim)
+    /// appear too; callers wanting engine-scoped numbers should
+    /// [`minim_obs::reset`] at a quiet moment and diff.
+    pub fn metrics_snapshot(&self) -> minim_obs::MetricsSnapshot {
+        minim_obs::snapshot()
     }
 }
 

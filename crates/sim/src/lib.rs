@@ -30,6 +30,8 @@
 //!   execution produce bit-identical tables.
 //! * [`json`] — a dependency-free JSON value/parser/writer backing the
 //!   spec-file format and result exports.
+//! * [`trace`] — the `minim-trace/1` export: lowers `minim-obs`
+//!   metric snapshots and span profiles onto [`json`] values.
 
 #![deny(missing_docs)]
 
@@ -42,6 +44,7 @@ pub mod plot;
 pub mod presets;
 pub mod runner;
 pub mod scenario;
+pub mod trace;
 
 pub use compare::{paired_compare, PairedComparison};
 pub use metrics::{Stats, Table};

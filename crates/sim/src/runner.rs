@@ -80,16 +80,26 @@ impl ShardHealth {
     }
 
     /// Folds another run's counters into this one (counters sum,
-    /// structure maxes, throughput event-weight-averages) — how the
+    /// structure maxes, throughput duration-weight-averages) — how the
     /// lab accumulates health across the rounds of a phase.
+    ///
+    /// The merged rate is total events over total wall-clock, with
+    /// each side's wall-clock recovered as `events / events_per_sec`.
+    /// Weighting the *rates* by event counts instead would skew
+    /// whenever rounds run unequal wall-clock: a fast burst with many
+    /// events would outvote a slow round that dominated real time.
+    /// Sides with an unmeasurable rate (`events_per_sec == 0`)
+    /// contribute no time and no events to the quotient.
     pub fn absorb(&mut self, other: &ShardHealth) {
-        let total = self.events + other.events;
-        if total > 0 {
-            // Weighted by event counts so long rounds dominate.
-            self.events_per_sec = (self.events_per_sec * self.events as f64
-                + other.events_per_sec * other.events as f64)
-                / total as f64;
+        let mut timed_events = 0.0f64;
+        let mut secs = 0.0f64;
+        for h in [&*self, other] {
+            if h.events_per_sec > 0.0 && h.events > 0 {
+                timed_events += h.events as f64;
+                secs += h.events as f64 / h.events_per_sec;
+            }
         }
+        self.events_per_sec = if secs > 0.0 { timed_events / secs } else { 0.0 };
         self.shards = self.shards.max(other.shards);
         self.widest_shard = self.widest_shard.max(other.widest_shard);
         self.border_events += other.border_events;
@@ -152,12 +162,14 @@ pub fn run_events_validated(
         match mode {
             ValidationMode::Off => {}
             ValidationMode::Delta => {
+                minim_obs::counter!("sim.validate.delta", 1);
                 let seeds = minim_core::validation_seeds(&effect.delta, &effect.outcome);
                 if let Err(v) = conflict::validate_delta(net.graph(), net.assignment(), &seeds) {
                     panic!("event {e:?} left a CA1/CA2 violation: {v}");
                 }
             }
             ValidationMode::Full => {
+                minim_obs::counter!("sim.validate.full", 1);
                 if let Err(v) = net.validate() {
                     panic!("event {e:?} left a CA1/CA2 violation: {v}");
                 }
@@ -310,18 +322,18 @@ pub fn run_events_batched_with(
     {
         return run_events_validated(strategy, net, events, mode);
     }
-    let debug_timing = std::env::var_os("MINIM_BATCH_DEBUG").is_some();
-    let t0 = std::time::Instant::now();
-    let plan = BatchPlan::new_with(scratch, net, events);
+    // Phase timings land on minim-obs spans (`batch.plan` /
+    // `batch.extract` / `batch.shards` / `batch.merge`) — run the lab
+    // with `--metrics-out` to see the profile tree.
+    let plan = {
+        let _span = minim_obs::span!("batch.plan");
+        BatchPlan::new_with(scratch, net, events)
+    };
     if plan.shard_count() <= 1 {
         plan.recycle(scratch);
         return run_events_validated(strategy, net, events, mode);
     }
     let strategy: &(dyn RecodingStrategy + Sync) = strategy;
-    if debug_timing {
-        eprintln!("plan: {:?}", t0.elapsed());
-    }
-    let t0 = std::time::Instant::now();
 
     // Populate each shard's subnetwork with the present nodes inside
     // its claimed region (configuration + color). Everything a shard
@@ -330,6 +342,7 @@ pub fn run_events_batched_with(
     // `fresh_like` preserves the cell hint, the flat/stratified index
     // mode, and the obstacle set, so shards execute with the same
     // index behavior as the parent network.
+    let extract_span = minim_obs::span!("batch.extract");
     let mut subs: Vec<Network> = (0..plan.shard_count()).map(|_| net.fresh_like()).collect();
     for id in net.iter_nodes().collect::<Vec<_>>() {
         let cfg = net.config(id).expect("listed node has a config");
@@ -349,32 +362,24 @@ pub fn run_events_batched_with(
         .map(|sub| Mutex::new(Some(sub)))
         .enumerate()
         .collect();
-    if debug_timing {
-        eprintln!("extract: {:?}", t0.elapsed());
-    }
-    let t0 = std::time::Instant::now();
-    let results = parallel_map(&jobs, workers, |(s, slot)| {
-        let sub = slot
-            .lock()
-            .expect("subnet slot poisoned")
-            .take()
-            .expect("each shard job runs exactly once");
-        run_shard(strategy, sub, events, &plan.shards()[*s], &plan, mode)
-    });
-    if debug_timing {
-        eprintln!(
-            "shards: {:?} ({} shards, largest {} events)",
-            t0.elapsed(),
-            plan.shard_count(),
-            plan.max_shard_len()
-        );
-    }
-    let t0 = std::time::Instant::now();
+    drop(extract_span);
+    let results = {
+        let _span = minim_obs::span!("batch.shards");
+        parallel_map(&jobs, workers, |(s, slot)| {
+            let sub = slot
+                .lock()
+                .expect("subnet slot poisoned")
+                .take()
+                .expect("each shard job runs exactly once");
+            run_shard(strategy, sub, events, &plan.shards()[*s], &plan, mode)
+        })
+    };
 
     // Merge: replay the topology on the main network in original event
     // order (identical deltas — each shard's subgraph is faithful),
     // then copy back each shard's colors. Shards write disjoint node
     // sets; unrecoded nodes are rewritten with their existing color.
+    let merge_span = minim_obs::span!("batch.merge");
     for (i, e) in events.iter().enumerate() {
         apply_topology_delta(net, e, plan.join_id(i));
     }
@@ -387,10 +392,7 @@ pub fn run_events_batched_with(
             net.assignment_mut().set(n, c);
         }
     }
-
-    if debug_timing {
-        eprintln!("merge: {:?}", t0.elapsed());
-    }
+    drop(merge_span);
     plan.recycle(scratch);
     PhaseMetrics {
         recodings,
@@ -541,6 +543,7 @@ impl ResidentState {
             return (0, 0);
         }
         let results = {
+            let _span = minim_obs::span!("resident.interior_wave");
             let subs = &self.subs;
             let queues = &self.queues;
             let route = &self.route;
@@ -590,6 +593,7 @@ impl ResidentState {
         // shards' color changes (disjoint node sets; within a shard
         // the writes are already in event order, so last-write-wins
         // matches sequential).
+        let _span = minim_obs::span!("resident.merge");
         for i in replay {
             let (_, delta) = apply_topology_delta(net, &events[i], self.route.join_ids[i]);
             net.recycle_delta(delta);
@@ -749,6 +753,7 @@ impl ResidentExecutor {
             self.state = None;
             return run_events_validated(strategy, net, events, mode);
         }
+        let _slice_span = minim_obs::span!("resident.slice");
         let t0 = std::time::Instant::now();
         let workers = self.workers;
         let fp = net.fingerprint();
@@ -761,7 +766,10 @@ impl ResidentExecutor {
         };
         let strategy: &(dyn RecodingStrategy + Sync) = strategy;
 
-        state.map.route(net, events, &mut state.route);
+        {
+            let _span = minim_obs::span!("resident.route");
+            state.map.route(net, events, &mut state.route);
+        }
         let mut recodings = 0usize;
         let mut edge_churn = 0usize;
         let mut wave_start = 0usize;
@@ -780,6 +788,7 @@ impl ResidentExecutor {
                     // The border event itself runs sequentially on
                     // the main network — same plan/commit
                     // decomposition as the wave path.
+                    let _span = minim_obs::span!("resident.border_barrier");
                     let e = &events[i];
                     let join_id = state.route.join_ids[i];
                     let prior = match e {
@@ -830,6 +839,13 @@ impl ResidentExecutor {
                 0.0
             },
         };
+        // Re-express the slice's health in the registry so shard
+        // quality shows up next to every other subsystem's metrics.
+        minim_obs::counter!("resident.events", health.events as u64);
+        minim_obs::counter!("resident.border_events", health.border_events as u64);
+        minim_obs::gauge!("resident.shards", health.shards as f64);
+        minim_obs::gauge!("resident.widest_shard", health.widest_shard as f64);
+        minim_obs::gauge!("resident.events_per_sec", health.events_per_sec);
         PhaseMetrics {
             recodings,
             max_color: net.max_color_index(),
@@ -872,6 +888,56 @@ mod tests {
     use minim_net::workload::JoinWorkload;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn shard_health_absorb_is_duration_weighted() {
+        // Hand-computed oracle: side A ran 100 events at 100 ev/s
+        // (1.0 s of wall-clock), side B ran 300 events at 1200 ev/s
+        // (0.25 s). Merged rate = 400 events / 1.25 s = 320 ev/s.
+        // The old event-count weighting of the *rates* would claim
+        // (100·100 + 1200·300) / 400 = 925 ev/s — dominated by the
+        // burst that barely contributed wall-clock.
+        let mut a = ShardHealth {
+            shards: 4,
+            widest_shard: 50,
+            border_events: 3,
+            events: 100,
+            events_per_sec: 100.0,
+        };
+        let b = ShardHealth {
+            shards: 6,
+            widest_shard: 40,
+            border_events: 7,
+            events: 300,
+            events_per_sec: 1200.0,
+        };
+        a.absorb(&b);
+        assert_eq!(a.events, 400);
+        assert_eq!(a.border_events, 10);
+        assert_eq!(a.shards, 6);
+        assert_eq!(a.widest_shard, 50);
+        assert!(
+            (a.events_per_sec - 320.0).abs() < 1e-9,
+            "{}",
+            a.events_per_sec
+        );
+
+        // An unmeasurable side contributes counters but neither time
+        // nor events to the rate.
+        let c = ShardHealth {
+            events: 1000,
+            events_per_sec: 0.0,
+            ..ShardHealth::default()
+        };
+        a.absorb(&c);
+        assert_eq!(a.events, 1400);
+        assert!((a.events_per_sec - 320.0).abs() < 1e-9);
+
+        // Two unmeasured sides merge to an unmeasured rate.
+        let mut d = ShardHealth::default();
+        d.absorb(&ShardHealth::default());
+        assert_eq!(d.events_per_sec, 0.0);
+    }
 
     #[test]
     fn run_events_counts_recodings() {

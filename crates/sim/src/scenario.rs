@@ -571,6 +571,14 @@ pub struct SweepResult {
     /// bit-identical across worker counts (`ShardHealth`'s equality
     /// already excludes the throughput field).
     pub shard_health: Option<ShardHealth>,
+    /// A snapshot of the minim-obs registry taken when the sweep
+    /// finished — counters, gauges, and latency histograms from every
+    /// instrumented subsystem the sweep exercised. Observability
+    /// metadata like [`SweepResult::wall_clock`]: excluded from
+    /// equality (latencies are machine noise, and the process-global
+    /// registry may carry counts from concurrent sweeps), and stripped
+    /// by the determinism suites before byte comparison.
+    pub metrics: minim_obs::MetricsSnapshot,
 }
 
 impl PartialEq for SweepResult {
@@ -723,6 +731,7 @@ impl SweepResult {
                         .collect(),
                 ),
             ),
+            ("metrics", crate::trace::metrics_to_json(&self.metrics)),
         ])
     }
 
@@ -1064,6 +1073,7 @@ impl Scenario {
             total_events,
             wall_clock: started.elapsed(),
             shard_health,
+            metrics: minim_obs::snapshot(),
         }
     }
 

@@ -17,6 +17,9 @@
 //! * [`coloring`] — global coloring heuristics (greedy, DSATUR,
 //!   smallest-last) powering the BBB baseline.
 //! * [`net`] — the power-controlled ad-hoc network model and workloads.
+//! * [`obs`] — the observability spine: zero-allocation metrics
+//!   registry, span tracing, and post-run profiling threaded through
+//!   every hot path (see docs/ARCHITECTURE.md § Observability).
 //! * [`core`] — the recoding strategies: Minim, CP, BBB.
 //! * [`power`] — the SINR physical layer: path-loss gain model,
 //!   Foschini–Miljanic closed-loop power control, and the driver that
@@ -58,6 +61,7 @@ pub use minim_geom as geom;
 pub use minim_graph as graph;
 pub use minim_matching as matching;
 pub use minim_net as net;
+pub use minim_obs as obs;
 pub use minim_power as power;
 pub use minim_proto as proto;
 pub use minim_radio as radio;

@@ -15,6 +15,14 @@
 //! transposed hearers/aimers indexes, the relaxation worklist, and the
 //! emitted-event buffer all recycle their storage.
 //!
+//! PR 10 threads `minim-obs` instrumentation through all of these
+//! paths. The registry records by default, so every phase below pins
+//! its zero with metrics **live** — counters, gauges, histograms, and
+//! span rings must recycle like everything else. The final phase adds
+//! the serve journal: its encode path allocates by design, so its pin
+//! is differential — an identical workload costs exactly the same
+//! allocation count with observability recording as with it disabled.
+//!
 //! The check uses a counting global allocator (this integration test
 //! is its own binary, so the allocator sees only this file's tests;
 //! keep it to ONE `#[test]` so no concurrent test thread can bleed
@@ -25,6 +33,7 @@ use minim_graph::NodeId;
 use minim_net::event::Event;
 use minim_net::{BatchPlan, BatchScratch, Network, NodeConfig, ShardMap, SliceRoute};
 use minim_power::{PowerLoopConfig, PowerSession};
+use minim_serve::{Engine, EngineOptions, MemFs};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -234,5 +243,88 @@ fn steady_state_rewire_allocates_nothing() {
         "steady-state batch planning + shard routing must be allocation-free, \
          saw {} allocations over 25 cycles",
         after - before
+    );
+
+    // --- Phase 5: observability is allocation-inert on the journal. ---
+    // Every phase above already ran with the minim-obs registry
+    // recording (the default), so their zeros pin instrumented rewire,
+    // settle, and batch planning. The serve engine's apply path
+    // allocates by design (event/frame encoding, MemFs growth,
+    // snapshot rotation), so its pin is differential: two fresh
+    // engines fed byte-identical workloads — one with observability
+    // recording, one with it runtime-disabled — must cost *exactly*
+    // the same number of allocations over the same measured window.
+    // Any allocation the instrumentation itself performed (interning,
+    // span-ring growth) would break the equality.
+    assert!(
+        minim_obs::enabled() || !minim_obs::COMPILED,
+        "phases 1-4 must run with the metrics registry live"
+    );
+    let journal_window = |record: bool| -> usize {
+        minim_obs::set_enabled(record);
+        let opts = EngineOptions {
+            snapshot_every: 8, // rotate inside both windows
+            sync_every: 1,
+            ..EngineOptions::default()
+        };
+        let mut eng = Engine::open_with(Box::new(MemFs::new()), opts).expect("genesis");
+        for i in 0..8u32 {
+            eng.apply(&Event::Join {
+                cfg: NodeConfig::new(Point::new(f64::from(i) * 9.0, 0.0), 20.0),
+            })
+            .expect("seed join");
+        }
+        let journal_cycle = |eng: &mut Engine| {
+            for (event, label) in [
+                (
+                    Event::Move {
+                        node: NodeId(2),
+                        to: Point::new(40.0, 5.0),
+                    },
+                    "move out",
+                ),
+                (
+                    Event::Move {
+                        node: NodeId(2),
+                        to: Point::new(18.0, 0.0),
+                    },
+                    "move back",
+                ),
+                (
+                    Event::SetRange {
+                        node: NodeId(5),
+                        range: 35.0,
+                    },
+                    "range up",
+                ),
+                (
+                    Event::SetRange {
+                        node: NodeId(5),
+                        range: 20.0,
+                    },
+                    "range down",
+                ),
+            ] {
+                eng.apply(&event).expect(label);
+            }
+        };
+        // Warm-up: engine buffers, MemFs files, and (on the recording
+        // run) any not-yet-interned serve keys reach steady state.
+        for _ in 0..12 {
+            journal_cycle(&mut eng);
+        }
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for _ in 0..25 {
+            journal_cycle(&mut eng);
+        }
+        ALLOCS.load(Ordering::SeqCst) - before
+    };
+    let instrumented = journal_window(true);
+    let silent = journal_window(false);
+    minim_obs::set_enabled(true);
+    assert_eq!(
+        instrumented, silent,
+        "observability must add zero allocations to journal cycles \
+         (recording: {instrumented}, disabled: {silent})"
     );
 }

@@ -114,12 +114,59 @@ fn exports_are_deterministic_too() {
     let spec = presets::clustered_churn().sweep(SweepAxis::MixSteps(vec![20]));
     let a = run(spec.clone(), 2, 7);
     let b = run(spec, 6, 7);
-    // JSON differs only in the wall_clock_ms profiling field.
-    let strip = |s: &str| -> String {
-        s.lines()
-            .filter(|l| !l.contains("wall_clock_ms"))
-            .collect::<Vec<_>>()
-            .join("\n")
-    };
-    assert_eq!(strip(&a.to_json_string()), strip(&b.to_json_string()));
+    // JSON differs only in the observability metadata: the
+    // wall_clock_ms profiling field and the minim-obs `metrics` block
+    // (the registry is process-global and cumulative, so a second run
+    // sees larger counters and different latencies). Everything the
+    // sweep *computed* must be byte-identical.
+    assert_eq!(
+        strip_observability(&a.to_json_string()),
+        strip_observability(&b.to_json_string())
+    );
+}
+
+/// Re-renders a `SweepResult` JSON export with the volatile
+/// observability fields (`wall_clock_ms`, the `metrics` block)
+/// removed, leaving the deterministic payload.
+fn strip_observability(text: &str) -> String {
+    use minim::sim::json::{self, Json};
+    let mut doc = json::parse(text).expect("export parses");
+    if let Json::Obj(fields) = &mut doc {
+        fields.retain(|(k, _)| k != "wall_clock_ms" && k != "metrics");
+    }
+    doc.to_string_pretty()
+}
+
+/// Observation must be provably inert: the sweep's computed payload is
+/// bit-identical whether the registry is recording or disabled. The
+/// test also prints an FNV-1a digest of the stripped payload —  CI
+/// runs this test under the default features *and* `--features
+/// obs-off` (where every instrumentation site is compiled away) and
+/// asserts the two digests match shell-side, closing the on-vs-off
+/// loop across binaries.
+#[test]
+fn observability_is_inert() {
+    let spec = presets::clustered_churn().sweep(SweepAxis::MixSteps(vec![20]));
+    minim::obs::set_enabled(true);
+    let recording = run(spec.clone(), 2, 7).to_json_string();
+    minim::obs::set_enabled(false);
+    let silent = run(spec, 2, 7).to_json_string();
+    minim::obs::set_enabled(true);
+    let payload = strip_observability(&recording);
+    assert_eq!(
+        payload,
+        strip_observability(&silent),
+        "recording vs disabled registry changed the computed payload"
+    );
+    println!("obs-inertness-digest: {:016x}", fnv1a(payload.as_bytes()));
+}
+
+/// FNV-1a, 64-bit: the digest CI compares across feature configs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
